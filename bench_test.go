@@ -1,0 +1,584 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section 6), plus ablations of the design choices called out
+// in DESIGN.md and micro-benchmarks of the algorithmic substrates. Run
+//
+//	go test -bench=. -benchmem
+//
+// and add -v to see the regenerated rows next to the paper's numbers.
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/atpg"
+	"repro/internal/ccg"
+	"repro/internal/chipsim"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/fsim"
+	"repro/internal/gate"
+	"repro/internal/hier"
+	"repro/internal/hscan"
+	"repro/internal/report"
+	"repro/internal/rtl"
+	"repro/internal/sched"
+	"repro/internal/synth"
+	"repro/internal/systems"
+	"repro/internal/trans"
+)
+
+// fixtures are shared across benchmarks: the prepared flows (full ATPG)
+// and enumerated design spaces for both systems.
+var (
+	fixOnce sync.Once
+	fix     struct {
+		f1, f2 *core.Flow
+		p1, p2 []explore.Point
+		err    error
+	}
+)
+
+func flows(b *testing.B) (*core.Flow, []explore.Point, *core.Flow, []explore.Point) {
+	b.Helper()
+	fixOnce.Do(func() {
+		f1, err := core.Prepare(systems.System1(), nil)
+		if err != nil {
+			fix.err = err
+			return
+		}
+		p1, err := explore.Enumerate(f1)
+		if err != nil {
+			fix.err = err
+			return
+		}
+		f2, err := core.Prepare(systems.System2(), nil)
+		if err != nil {
+			fix.err = err
+			return
+		}
+		p2, err := explore.Enumerate(f2)
+		if err != nil {
+			fix.err = err
+			return
+		}
+		fix.f1, fix.p1, fix.f2, fix.p2 = f1, p1, f2, p2
+	})
+	if fix.err != nil {
+		b.Fatal(fix.err)
+	}
+	resetSelection(fix.f1)
+	resetSelection(fix.f2)
+	return fix.f1, fix.p1, fix.f2, fix.p2
+}
+
+func resetSelection(f *core.Flow) {
+	sel := map[string]int{}
+	for _, c := range f.Chip.TestableCores() {
+		sel[c.Name] = 0
+	}
+	f.SelectVersions(sel)
+	f.ForcedMuxes = nil
+}
+
+// versionLadder runs core-level DFT and transparency on one core.
+func versionLadder(b *testing.B, build func() *rtl.Core) []*trans.Version {
+	b.Helper()
+	c := build()
+	scan, err := hscan.Insert(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := trans.Build(c, scan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vs, err := trans.Versions(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return vs
+}
+
+// --- E1: Figure 6 — CPU transparency version ladder ---------------------
+
+func BenchmarkFig6CPUVersions(b *testing.B) {
+	var vs []*trans.Version
+	for i := 0; i < b.N; i++ {
+		vs = versionLadder(b, systems.CPU)
+	}
+	v1, last := vs[0], vs[len(vs)-1]
+	b.ReportMetric(float64(v1.JustLatency("AddrLo")), "v1-D-to-A7:0-cycles")
+	b.ReportMetric(float64(v1.JustLatency("AddrHi")), "v1-D-to-A11:8-cycles")
+	b.ReportMetric(float64(last.JustLatency("AddrLo")), "vLast-D-to-A7:0-cycles")
+	b.Logf("Figure 6 (paper: V1 6/2 -> V3 1/1 at 3 -> 30 cells):")
+	for _, v := range vs {
+		a := v.Area
+		b.Logf("  %s: D->A(7:0)=%d  D->A(11:8)=%d  overhead=%d cells",
+			v.Label, v.JustLatency("AddrLo"), v.JustLatency("AddrHi"), a.Cells())
+	}
+}
+
+// --- E2: Figure 8 — PREPROCESSOR and DISPLAY ladders ---------------------
+
+func BenchmarkFig8PreprocessorVersions(b *testing.B) {
+	var vs []*trans.Version
+	for i := 0; i < b.N; i++ {
+		vs = versionLadder(b, systems.Preprocessor)
+	}
+	b.ReportMetric(float64(vs[0].JustLatency("DB")), "v1-NUM-to-DB-cycles")
+	b.ReportMetric(float64(vs[len(vs)-1].JustLatency("DB")), "vLast-NUM-to-DB-cycles")
+	b.Logf("Figure 8(a) (paper: NUM->DB 5 -> 1 -> 1 at 2 -> 37 cells):")
+	for _, v := range vs {
+		a := v.Area
+		b.Logf("  %s: NUM->DB=%d  NUM->Address=%d  overhead=%d cells",
+			v.Label, v.JustLatency("DB"), v.JustLatency("Address"), a.Cells())
+	}
+}
+
+func BenchmarkFig8DisplayVersions(b *testing.B) {
+	var vs []*trans.Version
+	for i := 0; i < b.N; i++ {
+		vs = versionLadder(b, systems.Display)
+	}
+	b.ReportMetric(float64(vs[0].PropLatency("D")), "v1-D-to-OUT-cycles")
+	b.ReportMetric(float64(vs[0].PropLatency("ALo")), "v1-A-to-OUT-cycles")
+	b.Logf("Figure 8(b) (paper: D->OUT 2, A->OUT 3 in V1; both 1 by V3):")
+	for _, v := range vs {
+		a := v.Area
+		b.Logf("  %s: D->OUT=%d  A(7:0)->OUT=%d  overhead=%d cells",
+			v.Label, v.PropLatency("D"), v.PropLatency("ALo"), a.Cells())
+	}
+}
+
+// --- E3: Section 3 worked example — DISPLAY TAT per CPU version ----------
+
+func BenchmarkSec3DisplayTAT(b *testing.B) {
+	f, err := core.Prepare(systems.System1(), &core.Options{
+		VectorOverride: map[string]int{"CPU": 100, "PREPROCESSOR": 100, "DISPLAY": 105},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ex *report.Section3
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex, err = report.WorkedExample(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(ex.Rows[0].TAT), "cpuV1-TAT-cycles")
+	b.ReportMetric(float64(ex.Rows[len(ex.Rows)-1].TAT), "cpuVLast-TAT-cycles")
+	b.ReportMetric(float64(ex.FscanBscanTAT), "fscan-bscan-TAT-cycles")
+	b.Logf("Section 3 worked example (paper: 4728 / 2103 / 1578 vs 9115):")
+	for _, r := range ex.Rows {
+		b.Logf("  %-16s %d x %d + %d = %d cycles", r.Config, r.Vectors, r.Period, r.Tail, r.TAT)
+	}
+	b.Logf("  FSCAN-BSCAN baseline: %d cycles", ex.FscanBscanTAT)
+}
+
+// --- E4: Figure 10 — TAT vs area trade-off curve -------------------------
+
+func BenchmarkFig10Tradeoff(b *testing.B) {
+	f1, _, _, _ := flows(b)
+	var points []explore.Point
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = explore.Enumerate(f1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	minTAT := explore.MinTATPoint(points)
+	b.ReportMetric(float64(len(points)), "design-points")
+	b.ReportMetric(float64(points[0].TAT), "min-area-TAT-cycles")
+	b.ReportMetric(float64(minTAT.TAT), "min-TAT-cycles")
+	b.ReportMetric(float64(points[0].TAT)/float64(minTAT.TAT), "TAT-reduction-x")
+	b.Logf("Figure 10 (paper: 18 points, ~4.5x TAT reduction):\n%s",
+		report.FormatFigure10(report.Figure10(explore.Pareto(points))))
+}
+
+// --- E5: Table 1 — design space exploration rows -------------------------
+
+func BenchmarkTable1DesignSpace(b *testing.B) {
+	f1, p1, _, _ := flows(b)
+	var rows []report.Table1Row
+	for i := 0; i < b.N; i++ {
+		rows = report.Table1(f1, p1)
+	}
+	b.ReportMetric(rows[0].FCov, "fault-coverage-pct")
+	b.ReportMetric(rows[0].TestEff, "test-efficiency-pct")
+	b.Logf("Table 1 (paper: 156/17387, 325/3818, 307/3806 at FC 98.4, TEff 99.8):")
+	for _, r := range rows {
+		b.Logf("  %-60s A.Ov=%d TApp=%d FC=%.1f%% TEff=%.1f%%", r.Desc, r.AreaOv, r.TATime, r.FCov, r.TestEff)
+	}
+}
+
+// --- E6: Table 2 — area overheads, both systems --------------------------
+
+func benchTable2(b *testing.B, f *core.Flow, points []explore.Point, paper string) {
+	var t2 *report.Table2
+	var err error
+	for i := 0; i < b.N; i++ {
+		t2, err = report.MakeTable2(f, points)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(t2.FscanBscanTotalPct, "fscan-bscan-total-pct")
+	b.ReportMetric(t2.SocetMinAreaTotalPct, "socet-min-area-total-pct")
+	b.Logf("Table 2 %s (paper: %s):", t2.System, paper)
+	b.Logf("  FSCAN %.1f%%  HSCAN %.1f%%  BSCAN %.1f%%  SOCET chip %.1f%%/%.1f%%  totals %.1f%% vs %.1f%%/%.1f%%",
+		t2.FscanPct, t2.HscanPct, t2.BscanPct, t2.SocetMinAreaPct, t2.SocetMinTATPct,
+		t2.FscanBscanTotalPct, t2.SocetMinAreaTotalPct, t2.SocetMinTATTotalPct)
+}
+
+func BenchmarkTable2AreaOverheadsS1(b *testing.B) {
+	f1, p1, _, _ := flows(b)
+	benchTable2(b, f1, p1, "FSCAN 18.8, HSCAN 10.1, BSCAN 5.2, SOCET 2.0/3.8, totals 24.0 vs 12.1/13.9")
+}
+
+func BenchmarkTable2AreaOverheadsS2(b *testing.B) {
+	_, _, f2, p2 := flows(b)
+	benchTable2(b, f2, p2, "FSCAN 15.6, HSCAN 10.3, BSCAN 9.9, SOCET 1.2/4.7, totals 25.5 vs 11.5/15.0")
+}
+
+// --- E7: Table 3 — testability, both systems ------------------------------
+
+func benchTable3(b *testing.B, f *core.Flow, points []explore.Point, paper string) {
+	var t3 *report.Table3
+	var err error
+	for i := 0; i < b.N; i++ {
+		t3, err = report.MakeTable3(f, points, &report.Table3Options{Cycles: 192, FaultSample: 1200})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(t3.OrigFC, "orig-FC-pct")
+	b.ReportMetric(t3.SocetFC, "socet-FC-pct")
+	b.ReportMetric(float64(t3.FscanBscanTAT), "fscan-bscan-TAT-cycles")
+	b.ReportMetric(float64(t3.SocetMinTAT), "socet-min-TAT-cycles")
+	b.Logf("Table 3 %s (paper: %s):", t3.System, paper)
+	b.Logf("  orig FC %.1f%%, HSCAN-only FC %.1f%%, FSCAN-BSCAN FC %.1f%% @ %d cyc, SOCET FC %.1f%% @ %d/%d cyc",
+		t3.OrigFC, t3.HscanFC, t3.FscanBscanFC, t3.FscanBscanTAT, t3.SocetFC, t3.SocetMinArea, t3.SocetMinTAT)
+}
+
+func BenchmarkTable3TestabilityS1(b *testing.B) {
+	f1, p1, _, _ := flows(b)
+	benchTable3(b, f1, p1, "orig 10.6, HSCAN 14.6, FSCAN-BSCAN 98.4 @ 36152, SOCET 98.4 @ 17387/3806")
+}
+
+func BenchmarkTable3TestabilityS2(b *testing.B) {
+	_, _, f2, p2 := flows(b)
+	benchTable3(b, f2, p2, "orig 11.2, HSCAN 13.8, FSCAN-BSCAN 98.2 @ 46394, SOCET 98.2 @ 16435/3998")
+}
+
+// --- Ablations ------------------------------------------------------------
+
+// AblationHSCANOnlyTransparency compares Version 1's HSCAN-edge-first
+// search against the all-edges minimum-latency search (the V1/V2 mechanism
+// of Section 4): all-edge search must never be slower.
+func BenchmarkAblationHSCANOnlyTransparency(b *testing.B) {
+	c := systems.CPU()
+	scan, err := hscan.Insert(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := trans.Build(c, scan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var strictSum, looseSum int
+	for i := 0; i < b.N; i++ {
+		strictSum, looseSum = 0, 0
+		for _, out := range g.OutputNodes() {
+			if p, ok := g.SolveJust(out, true); ok {
+				strictSum += p.Latency
+			}
+			if p, ok := g.SolveJust(out, false); ok {
+				looseSum += p.Latency
+			}
+		}
+	}
+	b.ReportMetric(float64(strictSum), "hscan-only-latency-sum")
+	b.ReportMetric(float64(looseSum), "all-edges-latency-sum")
+	if looseSum > strictSum {
+		b.Fatalf("all-edge search slower than HSCAN-only: %d > %d", looseSum, strictSum)
+	}
+}
+
+// AblationReservations compares the reservation-aware Dijkstra against a
+// naive one that ignores edge sharing: naive arrival times underestimate
+// the DISPLAY's justification period (Section 5.1's point).
+func BenchmarkAblationReservations(b *testing.B) {
+	f1, _, _, _ := flows(b)
+	g, err := ccg.Build(f1.Chip)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	targets := []string{"DISPLAY.ALo", "DISPLAY.AHi", "DISPLAY.D"}
+	var reserved, naive int
+	for i := 0; i < b.N; i++ {
+		resv := ccg.Reservations{}
+		reserved, naive = 0, 0
+		for _, name := range targets {
+			t, _ := g.NodeIndex(name)
+			p := g.ShortestPath(g.PINodes(), t, resv)
+			if p == nil {
+				b.Fatalf("no path to %s", name)
+			}
+			g.ReservePath(p, resv)
+			if p.Arrival > reserved {
+				reserved = p.Arrival
+			}
+			pn := g.ShortestPath(g.PINodes(), t, ccg.Reservations{})
+			if pn.Arrival > naive {
+				naive = pn.Arrival
+			}
+		}
+	}
+	b.ReportMetric(float64(reserved), "reserved-period-cycles")
+	b.ReportMetric(float64(naive), "naive-period-cycles")
+	if naive > reserved {
+		b.Fatal("naive schedule cannot be slower than the reserved one")
+	}
+}
+
+// AblationCompaction measures reverse-order compaction's vector reduction.
+func BenchmarkAblationCompaction(b *testing.B) {
+	c := systems.GCD()
+	sr, err := synth.Synthesize(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw, err := atpg.Generate(sr.Netlist, &atpg.Options{Compact: false})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var compacted []gate.Pattern
+	faults := sr.Netlist.Faults()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compacted = atpg.Compact(sr.Netlist, raw.Patterns, faults)
+	}
+	b.ReportMetric(float64(len(raw.Patterns)), "raw-vectors")
+	b.ReportMetric(float64(len(compacted)), "compacted-vectors")
+}
+
+// --- Micro-benchmarks of the substrates -----------------------------------
+
+func BenchmarkSynthesizeCPU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.Synthesize(systems.CPU()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkATPGGCD(b *testing.B) {
+	sr, err := synth.Synthesize(systems.GCD())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := atpg.Generate(sr.Netlist, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFaultSimCPU(b *testing.B) {
+	sr, err := synth.Synthesize(systems.CPU())
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := atpg.Generate(sr.Netlist, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := sr.Netlist.Faults()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fsim.Combinational(sr.Netlist, res.Patterns, faults); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(faults)), "faults")
+	b.ReportMetric(float64(len(res.Patterns)), "vectors")
+}
+
+func BenchmarkSequentialSimChip(b *testing.B) {
+	f1, _, _, _ := flows(b)
+	cn, err := core.BuildChipNetlist(f1, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := report.SampleFaults(cn.Netlist.Faults(), 256, 7)
+	stim := fsim.RandomStimulus(cn.Netlist, 64, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fsim.Sequential(cn.Netlist, stim, faults); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHSCANInsertCPU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := hscan.Insert(systems.CPU()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCCGShortestPath(b *testing.B) {
+	f1, _, _, _ := flows(b)
+	g, err := ccg.Build(f1.Chip)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, _ := g.NodeIndex("DISPLAY.ALo")
+	pis := g.PINodes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p := g.ShortestPath(pis, target, ccg.Reservations{}); p == nil {
+			b.Fatal("no path")
+		}
+	}
+}
+
+func BenchmarkEvaluateSystem1(b *testing.B) {
+	f1, _, _, _ := flows(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f1.Evaluate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// AblationPipelining quantifies the paper's no-pipelining assumption
+// (Section 3): how much faster the chip test would be if vectors could
+// stream through transparency stages back-to-back.
+func BenchmarkAblationPipelining(b *testing.B) {
+	f1, _, _, _ := flows(b)
+	e, err := f1.Evaluate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pipe map[string]int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pipe = sched.PipelinedTAT(e.Sched)
+	}
+	total := 0
+	for _, v := range pipe {
+		total += v
+	}
+	b.ReportMetric(float64(e.Sched.TotalTAT), "conservative-TAT-cycles")
+	b.ReportMetric(float64(total), "pipelined-bound-cycles")
+}
+
+// --- Extensions beyond the paper's tables ---------------------------------
+
+// Interconnect test plan: the paper's claimed advantage over the test bus
+// (Section 1), made explicit — every inter-core wire gets walking/constant
+// patterns routed through the transparency fabric.
+func BenchmarkInterconnectPlan(b *testing.B) {
+	f1, _, _, _ := flows(b)
+	e, err := f1.Evaluate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var ir *sched.InterconnectResult
+	for i := 0; i < b.N; i++ {
+		g, err := ccg.Build(f1.Chip)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sched.Schedule(f1.Chip, g); err != nil {
+			b.Fatal(err)
+		}
+		ir, err = sched.ScheduleInterconnect(f1.Chip, g)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = e
+	b.ReportMetric(float64(len(ir.Nets)), "nets-tested")
+	b.ReportMetric(float64(ir.TotalTAT), "interconnect-TAT-cycles")
+}
+
+// Hierarchical flow (Section 1's "hierarchical fashion" claim): flatten
+// System 2 and run the chip-level flow on the two-level system.
+func BenchmarkHierarchicalFlow(b *testing.B) {
+	_, _, f2, _ := flows(b)
+	b.ResetTimer()
+	var tat int
+	for i := 0; i < b.N; i++ {
+		meta, _, err := hier.Flatten(f2, "SYS2CORE")
+		if err != nil {
+			b.Fatal(err)
+		}
+		super := hier.Embed("supersoc", meta, systems.GCD())
+		sf, err := core.Prepare(super, &core.Options{
+			VectorOverride: map[string]int{meta.Name: 40, "GCD": 25},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := sf.Evaluate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		tat = e.TAT
+	}
+	b.ReportMetric(float64(tat), "two-level-TAT-cycles")
+}
+
+// End-to-end mechanism execution: one vector physically delivered from
+// chip input NUM through PREPROCESSOR and CPU transparency to the
+// DISPLAY, on the RTL chip simulator.
+func BenchmarkVectorDelivery(b *testing.B) {
+	f, err := core.Prepare(systems.System1(), &core.Options{
+		VectorOverride: map[string]int{"CPU": 10, "PREPROCESSOR": 10, "DISPLAY": 10},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prep, _ := f.Chip.CoreByName("PREPROCESSOR")
+	cpu, _ := f.Chip.CoreByName("CPU")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := chipsim.New(f.Chip)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ps, _ := s.Core("PREPROCESSOR")
+		cs, _ := s.Core("CPU")
+		l1, err := chipsim.EngageJustification(ps, prep.Versions[0], "DB")
+		if err != nil {
+			b.Fatal(err)
+		}
+		l2, err := chipsim.EngageJustification(cs, cpu.Versions[1], "AddrLo")
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.SetPI("NUM", 0x3C)
+		for c := 0; c < l1+l2; c++ {
+			if err := s.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		got, err := s.CoreInput("DISPLAY", "ALo")
+		if err != nil || got != 0x3C {
+			b.Fatalf("delivery failed: %#x, %v", got, err)
+		}
+	}
+}

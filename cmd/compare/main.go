@@ -1,0 +1,88 @@
+// Command compare regenerates Tables 2 and 3: the area-overhead and
+// testability comparison between SOCET and the FSCAN-BSCAN baseline, for
+// both example systems.
+//
+// Usage:
+//
+//	compare [-system 1|2|0]   (0 = both)
+//	compare -table2 | -table3 (default: both tables)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/report"
+	"repro/internal/soc"
+	"repro/internal/systems"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("compare: ")
+	system := flag.Int("system", 0, "system to compare (1, 2, or 0 for both)")
+	t2only := flag.Bool("table2", false, "print only Table 2")
+	t3only := flag.Bool("table3", false, "print only Table 3")
+	cycles := flag.Int("cycles", 192, "random functional cycles for the sequential columns")
+	sample := flag.Int("sample", 1500, "sampled faults for the sequential columns")
+	flag.Parse()
+
+	var chips []*soc.Chip
+	switch *system {
+	case 0:
+		chips = []*soc.Chip{systems.System1(), systems.System2()}
+	case 1:
+		chips = []*soc.Chip{systems.System1()}
+	case 2:
+		chips = []*soc.Chip{systems.System2()}
+	default:
+		log.Fatal("-system must be 0, 1 or 2")
+	}
+	both := !*t2only && !*t3only
+	for _, ch := range chips {
+		f, err := core.Prepare(ch, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		points, err := explore.Enumerate(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if both || *t2only {
+			t2, err := report.MakeTable2(f, points)
+			if err != nil {
+				log.Fatal(err)
+			}
+			printTable2(t2)
+		}
+		if both || *t3only {
+			t3, err := report.MakeTable3(f, points, &report.Table3Options{Cycles: *cycles, FaultSample: *sample})
+			if err != nil {
+				log.Fatal(err)
+			}
+			printTable3(t3)
+		}
+	}
+}
+
+func printTable2(t *report.Table2) {
+	fmt.Printf("Table 2: area overheads — %s (orig. %d cells; %% of original area)\n", t.System, t.OrigCells)
+	fmt.Printf("  core-level DFT:   FSCAN %5.1f%%   HSCAN %5.1f%%\n", t.FscanPct, t.HscanPct)
+	fmt.Printf("  chip-level DFT:   BSCAN %5.1f%%   SOCET min-area %5.1f%%   SOCET min-TApp %5.1f%%\n",
+		t.BscanPct, t.SocetMinAreaPct, t.SocetMinTATPct)
+	fmt.Printf("  core+chip total:  FSCAN-BSCAN %5.1f%%   SOCET min-area %5.1f%%   SOCET min-TApp %5.1f%%\n\n",
+		t.FscanBscanTotalPct, t.SocetMinAreaTotalPct, t.SocetMinTATTotalPct)
+}
+
+func printTable3(t *report.Table3) {
+	fmt.Printf("Table 3: testability results — %s\n", t.System)
+	fmt.Printf("  %-22s FC %5.1f%%  TEff %5.1f%%\n", "original (no DFT):", t.OrigFC, t.OrigTEff)
+	fmt.Printf("  %-22s FC %5.1f%%  TEff %5.1f%%\n", "HSCAN cores only:", t.HscanFC, t.HscanTEff)
+	fmt.Printf("  %-22s FC %5.1f%%  TEff %5.1f%%  TApp %7d cycles\n",
+		"FSCAN-BSCAN:", t.FscanBscanFC, t.FscanBscanTEff, t.FscanBscanTAT)
+	fmt.Printf("  %-22s FC %5.1f%%  TEff %5.1f%%  TApp %7d (min area) / %d (min TApp) cycles\n\n",
+		"SOCET:", t.SocetFC, t.SocetTEff, t.SocetMinArea, t.SocetMinTAT)
+}

@@ -1,0 +1,68 @@
+// Command corestat prints the transparency version ladder of a core — the
+// latency/overhead trade-off tables of the paper's Figures 6 and 8 — plus
+// its HSCAN chain configuration.
+//
+// Usage:
+//
+//	corestat [-core cpu|preprocessor|display|graphics|gcd|x25]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/hscan"
+	"repro/internal/report"
+	"repro/internal/rtl"
+	"repro/internal/soc"
+	"repro/internal/systems"
+	"repro/internal/trans"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("corestat: ")
+	name := flag.String("core", "cpu", "core to analyze: cpu, preprocessor, display, graphics, gcd, x25")
+	flag.Parse()
+
+	builders := map[string]func() *rtl.Core{
+		"cpu":          systems.CPU,
+		"preprocessor": systems.Preprocessor,
+		"display":      systems.Display,
+		"graphics":     systems.Graphics,
+		"gcd":          systems.GCD,
+		"x25":          systems.X25,
+	}
+	build, ok := builders[strings.ToLower(*name)]
+	if !ok {
+		log.Fatalf("unknown core %q", *name)
+	}
+	c := build()
+	scan, err := hscan.Insert(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d registers (%d flip-flops), %d muxes, %d units\n",
+		c.Name, len(c.Regs), c.FFCount(), len(c.Muxes), len(c.Units))
+	fmt.Printf("\nHSCAN chains (insertion cost %d cells, depth %d):\n", scanCells(scan), scan.MaxDepth)
+	for i, ch := range scan.Chains {
+		fmt.Printf("  chain %d: %s\n", i+1, strings.Join(ch.Regs, " -> "))
+	}
+	g, err := trans.Build(c, scan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vs, err := trans.Versions(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := &soc.Core{Name: c.Name, RTL: c, Scan: scan, Versions: vs}
+	fmt.Printf("\n%s", report.FormatVersionTable(c.Name, report.VersionTable(sc)))
+}
+
+func scanCells(r *hscan.Result) int {
+	a := r.Area
+	return a.Cells()
+}

@@ -1,0 +1,59 @@
+// Command tradeoff regenerates Figure 10 (the test-application-time versus
+// area-overhead curve over all core-version combinations) and Table 1 (the
+// design-space exploration rows) for one of the example systems.
+//
+// Usage:
+//
+//	tradeoff [-system 1|2] [-pareto]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/report"
+	"repro/internal/soc"
+	"repro/internal/systems"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tradeoff: ")
+	system := flag.Int("system", 1, "example system (1 or 2)")
+	pareto := flag.Bool("pareto", false, "print only the Pareto front")
+	flag.Parse()
+
+	var ch *soc.Chip
+	switch *system {
+	case 1:
+		ch = systems.System1()
+	case 2:
+		ch = systems.System2()
+	default:
+		log.Fatal("-system must be 1 or 2")
+	}
+	f, err := core.Prepare(ch, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	points, err := explore.Enumerate(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Figure 10: test application time vs. chip-level DFT area (%s, %d design points)\n\n",
+		ch.Name, len(points))
+	if *pareto {
+		points = explore.Pareto(points)
+		fmt.Printf("(Pareto front: %d points)\n", len(points))
+	}
+	fmt.Print(report.FormatFigure10(report.Figure10(points)))
+
+	fmt.Printf("\nTable 1: design space exploration for %s\n", ch.Name)
+	fmt.Printf("%-58s %8s %9s %6s %6s\n", "Circuit description", "A.Ov.", "TApp.", "FCov.", "TEff.")
+	for _, r := range report.Table1(f, points) {
+		fmt.Printf("%-58s %8d %9d %5.1f%% %5.1f%%\n", r.Desc, r.AreaOv, r.TATime, r.FCov, r.TestEff)
+	}
+}

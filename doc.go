@@ -1,0 +1,19 @@
+// Package repro is a from-scratch Go reproduction of "A Fast and Low Cost
+// Testing Technique for Core-Based System-on-Chip" (Ghosh, Dey, Jha;
+// DAC 1998) — the SOCET transparency-based SoC test methodology.
+//
+// The implementation lives under internal/: the RTL model and simulator
+// (rtl, rtlsim), the gate-level substrate with synthesis, ATPG and fault
+// simulation (gate, synth, atpg, fsim), the paper's core-level DFT (hscan,
+// trans), the chip-level method (ccg, sched, explore, ctrl), baselines
+// (bscan, testbus, bist), the two evaluation systems (systems), the
+// orchestrating flow (core) and the table/figure assembly (report).
+//
+// bench_test.go in this directory regenerates every table and figure of
+// the paper's evaluation: run
+//
+//	go test -bench=. -benchmem
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// results against the paper's numbers.
+package repro

@@ -1,0 +1,66 @@
+// Barcode: the paper's System 1, end to end.
+//
+// This example reproduces the Section 3 narrative on the barcode-scanner
+// SoC of Figure 2: the embedded DISPLAY core is tested by justifying its
+// precomputed vectors from the chip input NUM through the PREPROCESSOR's
+// NUM->DB transparency and the CPU's Data->Address transparency, and it
+// shows how swapping in faster CPU versions shrinks the test time, against
+// the FSCAN-BSCAN baseline.
+//
+// Run with:
+//
+//	go run ./examples/barcode
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/systems"
+)
+
+func main() {
+	log.SetFlags(0)
+	ch := systems.System1()
+	fmt.Printf("%s: %d cores (%d testable + RAM/ROM on BIST)\n",
+		ch.Name, len(ch.Cores), len(ch.TestableCores()))
+
+	// The paper's worked example fixes the DISPLAY test set at 105
+	// combinational vectors; with chain depth d the scan expansion is
+	// 105 x (d+1) HSCAN vectors.
+	f, err := core.Prepare(ch, &core.Options{
+		VectorOverride: map[string]int{"CPU": 100, "PREPROCESSOR": 100, "DISPLAY": 105},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range ch.TestableCores() {
+		fmt.Printf("  %-14s depth-%d chains, %d transparency versions\n",
+			c.Name, c.Scan.MaxDepth, len(c.Versions))
+	}
+
+	ex, err := report.WorkedExample(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntesting the DISPLAY through PREPROCESSOR + CPU transparency:\n")
+	fmt.Printf("  %-16s %9s %8s %6s %9s\n", "configuration", "vectors", "period", "tail", "TAT")
+	for _, r := range ex.Rows {
+		fmt.Printf("  %-16s %9d %8d %6d %9d cycles\n", r.Config, r.Vectors, r.Period, r.Tail, r.TAT)
+	}
+	fmt.Printf("  %-16s %35d cycles\n", "FSCAN-BSCAN", ex.FscanBscanTAT)
+	best := ex.Rows[len(ex.Rows)-1]
+	fmt.Printf("\nSOCET with the fastest CPU version tests the DISPLAY %.1fx faster than FSCAN-BSCAN\n",
+		float64(ex.FscanBscanTAT)/float64(best.TAT))
+
+	// Full-chip schedule at the minimum-area design point.
+	e, err := f.Evaluate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfull-chip test (all cores, min-area versions): %d cycles, %d cells of chip DFT\n",
+		e.TAT, e.ChipDFTCells())
+	fmt.Printf("memory BIST (march C- on the 4KB space): %d cycles, concurrent\n", e.BISTCycles)
+}

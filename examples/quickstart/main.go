@@ -1,0 +1,97 @@
+// Quickstart: make a small custom core testable and transparent.
+//
+// This example walks the core-level half of the SOCET method on a little
+// filter core you define yourself: build the RTL, insert HSCAN scan
+// chains, extract the register connectivity graph, generate the
+// transparency version ladder, and verify — against a cycle-accurate RTL
+// simulation — that the chosen transparency path really moves data.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/hscan"
+	"repro/internal/rtl"
+	"repro/internal/rtlsim"
+	"repro/internal/trans"
+)
+
+func main() {
+	log.SetFlags(0)
+	// A four-stage moving-average filter: input samples shift through
+	// TAP0..TAP2 while an accumulator adds them up.
+	filter := rtl.NewCore("filter").
+		In("Sample", 8).
+		Out("Avg", 8).
+		Reg("TAP0", 8).
+		Reg("TAP1", 8).
+		Reg("TAP2", 8).
+		Reg("ACCUM", 8).
+		Mux("MA", 8, 2).
+		Unit(rtl.Unit{Name: "add", Op: rtl.OpAdd, Width: 8}).
+		Wire("Sample", "TAP0.d").
+		Wire("TAP0.q", "TAP1.d").
+		Wire("TAP1.q", "TAP2.d").
+		Wire("TAP2.q", "MA.in0").
+		Wire("add.out", "MA.in1").
+		Wire("MA.out", "ACCUM.d").
+		Wire("ACCUM.q", "add.in0").
+		Wire("TAP0.q", "add.in1").
+		Wire("ACCUM.q", "Avg").
+		MustBuild()
+
+	// Step 1: HSCAN — thread the registers into scan chains reusing the
+	// existing shift path (Section 2 of the paper).
+	scan, err := hscan.Insert(filter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	area := scan.Area
+	fmt.Printf("HSCAN: %d chain(s), depth %d, %d cells of test logic\n",
+		len(scan.Chains), scan.MaxDepth, area.Cells())
+	for i, ch := range scan.Chains {
+		fmt.Printf("  chain %d: %s\n", i+1, strings.Join(ch.Regs, " -> "))
+	}
+
+	// Step 2: transparency — find how test data can flow through the core
+	// (Section 4), producing the version ladder.
+	g, err := trans.Build(filter, scan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	versions, err := trans.Versions(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntransparency versions:\n")
+	for _, v := range versions {
+		a := v.Area
+		fmt.Printf("  %s: justify Avg in %d cycle(s), propagate Sample in %d, +%d cells\n",
+			v.Label, v.JustLatency("Avg"), v.PropLatency("Sample"), a.Cells())
+	}
+
+	// Step 3: verify the base version's justification path against the
+	// RTL simulator — a value driven at Sample must surface at Avg.
+	v1 := versions[0]
+	chain := rtlsim.LinearChain(v1.RCG, v1, "Avg")
+	if chain == nil {
+		fmt.Println("\njustification path is not a simple chain; verifying edges instead")
+		verified, skipped, err := rtlsim.VerifyAllEdges(filter, v1.RCG, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("verified %d RCG edges (%d created edges skipped)\n", verified, skipped)
+		return
+	}
+	if err := rtlsim.VerifyChain(filter, v1.RCG, chain, 42); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nverified: a value at Sample reaches Avg in %d cycles through %d edges\n",
+		v1.JustLatency("Avg"), len(chain))
+}

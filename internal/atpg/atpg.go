@@ -1,0 +1,234 @@
+// Package atpg generates full-scan combinational test patterns with the
+// PODEM algorithm over a five-valued (good/faulty three-valued) algebra.
+// It plays the role of the commercial combinational ATPG tool used in the
+// paper's experiments (Section 6): each HSCAN/full-scan core is tested with
+// patterns produced here, and the resulting vector counts feed the test
+// application time model.
+package atpg
+
+import (
+	"repro/internal/fsim"
+	"repro/internal/gate"
+)
+
+// Three-valued signal levels.
+const (
+	lo byte = 0
+	hi byte = 1
+	xx byte = 2
+)
+
+// Options tunes test generation.
+type Options struct {
+	BacktrackLimit int    // per-fault PODEM backtrack budget (default 64)
+	FillSeed       uint64 // seed for deterministic random fill of don't-cares
+	Compact        bool   // reverse-order pattern compaction pass
+	// RandomPatterns is the size of the random-pattern pre-pass that
+	// cheaply clears the easy faults before deterministic PODEM runs
+	// (default 192; set negative to disable).
+	RandomPatterns int
+}
+
+func (o *Options) withDefaults() Options {
+	v := Options{BacktrackLimit: 64, FillSeed: 0x5eed, Compact: true, RandomPatterns: 192}
+	if o != nil {
+		if o.BacktrackLimit > 0 {
+			v.BacktrackLimit = o.BacktrackLimit
+		}
+		if o.FillSeed != 0 {
+			v.FillSeed = o.FillSeed
+		}
+		v.Compact = o.Compact
+		if o.RandomPatterns > 0 {
+			v.RandomPatterns = o.RandomPatterns
+		}
+		if o.RandomPatterns < 0 {
+			v.RandomPatterns = 0
+		}
+	}
+	return v
+}
+
+// Stats reports test generation results.
+type Stats struct {
+	Faults     int // total collapsed faults
+	Detected   int
+	Untestable int // proven redundant
+	Aborted    int // backtrack limit exceeded
+	Vectors    int // patterns emitted (after compaction)
+}
+
+// FaultCoverage returns detected/faults in percent.
+func (s Stats) FaultCoverage() float64 {
+	if s.Faults == 0 {
+		return 0
+	}
+	return 100 * float64(s.Detected) / float64(s.Faults)
+}
+
+// TestEfficiency returns (detected+untestable)/faults in percent.
+func (s Stats) TestEfficiency() float64 {
+	if s.Faults == 0 {
+		return 0
+	}
+	return 100 * float64(s.Detected+s.Untestable) / float64(s.Faults)
+}
+
+// Result bundles the generated test set.
+type Result struct {
+	Patterns []gate.Pattern
+	Stats    Stats
+}
+
+// Generate runs PODEM over the full fault list of n, fault-simulating
+// each new pattern against the remaining faults (fault dropping).
+func Generate(n *gate.Netlist, opts *Options) (*Result, error) {
+	return GenerateFor(n, n.Faults(), opts)
+}
+
+// GenerateFor runs test generation for an explicit fault list.
+func GenerateFor(n *gate.Netlist, faults []gate.Fault, opts *Options) (*Result, error) {
+	o := opts.withDefaults()
+	eng, err := newEngine(n)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Stats: Stats{Faults: len(faults)}}
+	detected := make([]bool, len(faults))
+	rng := splitMix{o.FillSeed}
+
+	// Phase 1: random-pattern pre-pass with fault dropping. Patterns that
+	// detect nothing first are discarded immediately.
+	if o.RandomPatterns > 0 {
+		rpats := make([]gate.Pattern, o.RandomPatterns)
+		nPI := len(n.PIs())
+		nFF := len(n.DFFs())
+		for i := range rpats {
+			p := gate.Pattern{PI: make([]byte, nPI)}
+			if nFF > 0 {
+				p.State = make([]byte, nFF)
+			}
+			for j := range p.PI {
+				p.PI[j] = byte(rng.next() & 1)
+			}
+			for j := range p.State {
+				p.State[j] = byte(rng.next() & 1)
+			}
+			rpats[i] = p
+		}
+		fr, err := fsim.Combinational(n, rpats, faults)
+		if err != nil {
+			return nil, err
+		}
+		used := make([]bool, len(rpats))
+		for fi, by := range fr.DetectedBy {
+			if by >= 0 {
+				detected[fi] = true
+				res.Stats.Detected++
+				used[by] = true
+			}
+		}
+		for i, u := range used {
+			if u {
+				res.Patterns = append(res.Patterns, rpats[i])
+			}
+		}
+	}
+
+	// Phase 2: deterministic PODEM on the survivors.
+	for fi, f := range faults {
+		if detected[fi] {
+			continue
+		}
+		outcome := eng.podem(f, o.BacktrackLimit)
+		switch outcome {
+		case outDetected:
+			pat := eng.extractPattern(&rng)
+			res.Patterns = append(res.Patterns, pat)
+			detected[fi] = true
+			res.Stats.Detected++
+			// Drop other faults caught by this pattern.
+			rem := make([]gate.Fault, 0, 32)
+			remIdx := make([]int, 0, 32)
+			for fj := fi + 1; fj < len(faults); fj++ {
+				if !detected[fj] {
+					rem = append(rem, faults[fj])
+					remIdx = append(remIdx, fj)
+				}
+			}
+			if len(rem) > 0 {
+				fr, err := fsim.Combinational(n, []gate.Pattern{pat}, rem)
+				if err != nil {
+					return nil, err
+				}
+				for k, by := range fr.DetectedBy {
+					if by >= 0 {
+						detected[remIdx[k]] = true
+						res.Stats.Detected++
+					}
+				}
+			}
+		case outUntestable:
+			res.Stats.Untestable++
+		case outAborted:
+			res.Stats.Aborted++
+		}
+	}
+	if o.Compact && len(res.Patterns) > 1 {
+		res.Patterns = Compact(n, res.Patterns, faults)
+	}
+	res.Stats.Vectors = len(res.Patterns)
+	return res, nil
+}
+
+// Compact keeps only patterns that detect new faults when the set is
+// fault-simulated in reverse order (classic reverse-order compaction).
+func Compact(n *gate.Netlist, pats []gate.Pattern, faults []gate.Fault) []gate.Pattern {
+	rev := make([]gate.Pattern, len(pats))
+	for i, p := range pats {
+		rev[len(pats)-1-i] = p
+	}
+	covered := make([]bool, len(faults))
+	var kept []gate.Pattern
+	remaining := faults
+	remIdx := make([]int, len(faults))
+	for i := range remIdx {
+		remIdx[i] = i
+	}
+	for _, p := range rev {
+		fr, err := fsim.Combinational(n, []gate.Pattern{p}, remaining)
+		if err != nil {
+			return pats
+		}
+		hit := false
+		nextRem := remaining[:0:0]
+		nextIdx := remIdx[:0:0]
+		for k, by := range fr.DetectedBy {
+			if by >= 0 {
+				covered[remIdx[k]] = true
+				hit = true
+			} else {
+				nextRem = append(nextRem, remaining[k])
+				nextIdx = append(nextIdx, remIdx[k])
+			}
+		}
+		if hit {
+			kept = append(kept, p)
+		}
+		remaining, remIdx = nextRem, nextIdx
+	}
+	if len(kept) == 0 {
+		return pats
+	}
+	return kept
+}
+
+type splitMix struct{ state uint64 }
+
+func (r *splitMix) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,212 @@
+package atpg
+
+import (
+	"testing"
+
+	"repro/internal/fsim"
+	"repro/internal/gate"
+	"repro/internal/rtl"
+	"repro/internal/synth"
+)
+
+func fullAdder() *gate.Netlist {
+	n := &gate.Netlist{Name: "fa"}
+	a := n.Add(gate.Input)
+	b := n.Add(gate.Input)
+	cin := n.Add(gate.Input)
+	axb := n.Add(gate.Xor, a, b)
+	sum := n.Add(gate.Xor, axb, cin)
+	ab := n.Add(gate.And, a, b)
+	caxb := n.Add(gate.And, cin, axb)
+	cout := n.Add(gate.Or, ab, caxb)
+	n.MarkPO(sum, "sum")
+	n.MarkPO(cout, "cout")
+	return n
+}
+
+// verify checks that the generated patterns really detect the claimed
+// number of faults via independent fault simulation.
+func verify(t *testing.T, n *gate.Netlist, res *Result) {
+	t.Helper()
+	faults := n.Faults()
+	fr, err := fsim.Combinational(n, res.Patterns, faults)
+	if err != nil {
+		t.Fatalf("fsim: %v", err)
+	}
+	if fr.Detected < res.Stats.Detected {
+		t.Errorf("fsim detects %d faults, ATPG claimed %d", fr.Detected, res.Stats.Detected)
+	}
+}
+
+func TestFullAdder100Percent(t *testing.T) {
+	n := fullAdder()
+	res, err := Generate(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FaultCoverage() != 100 {
+		t.Errorf("coverage = %.1f%%, want 100%% (stats %+v)", res.Stats.FaultCoverage(), res.Stats)
+	}
+	if res.Stats.Aborted != 0 {
+		t.Errorf("aborted = %d, want 0", res.Stats.Aborted)
+	}
+	verify(t, n, res)
+}
+
+func TestRedundantFaultProvedUntestable(t *testing.T) {
+	// z = a OR (a AND b): the AND gate is redundant; its sa0 is untestable.
+	n := &gate.Netlist{Name: "red"}
+	a := n.Add(gate.Input)
+	b := n.Add(gate.Input)
+	ab := n.Add(gate.And, a, b)
+	z := n.Add(gate.Or, a, ab)
+	n.MarkPO(z, "z")
+	res, err := Generate(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Untestable == 0 {
+		t.Errorf("expected some untestable faults, stats %+v", res.Stats)
+	}
+	if res.Stats.TestEfficiency() != 100 {
+		t.Errorf("test efficiency = %.1f%%, want 100%%", res.Stats.TestEfficiency())
+	}
+	verify(t, n, res)
+}
+
+func TestFullScanSequentialCore(t *testing.T) {
+	// An RTL core with registers: full-scan ATPG treats DFFs as pseudo
+	// PIs/POs and should reach high coverage.
+	c := rtl.NewCore("seq").
+		In("a", 4).In("b", 4).
+		Out("z", 4).
+		Reg("r1", 4).Reg("r2", 4).
+		Unit(rtl.Unit{Name: "add", Op: rtl.OpAdd, Width: 4}).
+		Wire("a", "r1.d").
+		Wire("b", "r2.d").
+		Wire("r1.q", "add.in0").
+		Wire("r2.q", "add.in1").
+		Wire("add.out", "z").
+		MustBuild()
+	sr, err := synth.Synthesize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Generate(sr.Netlist, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The adder's unused carry-out makes its top-bit carry cone genuinely
+	// redundant, so demand full *efficiency*, not full coverage.
+	if res.Stats.TestEfficiency() < 99.9 {
+		t.Errorf("efficiency = %.1f%%, want 100%% (stats %+v)", res.Stats.TestEfficiency(), res.Stats)
+	}
+	if res.Stats.FaultCoverage() < 85 {
+		t.Errorf("coverage = %.1f%%, want >= 85%% (stats %+v)", res.Stats.FaultCoverage(), res.Stats)
+	}
+	for _, p := range res.Patterns {
+		if p.State == nil {
+			t.Fatal("pattern missing scan state for sequential netlist")
+		}
+	}
+	verify(t, sr.Netlist, res)
+}
+
+func TestMuxHeavyCircuit(t *testing.T) {
+	c := rtl.NewCore("muxy").
+		In("a", 4).In("b", 4).In("x", 4).In("y", 4).In("s", 2).
+		Out("z", 4).
+		Mux("m", 4, 4).
+		Wire("a", "m.in0").Wire("b", "m.in1").Wire("x", "m.in2").Wire("y", "m.in3").
+		Wire("s", "m.sel").
+		Wire("m.out", "z").
+		MustBuild()
+	sr, err := synth.Synthesize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Generate(sr.Netlist, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FaultCoverage() < 99 {
+		t.Errorf("coverage = %.1f%% (stats %+v)", res.Stats.FaultCoverage(), res.Stats)
+	}
+	verify(t, sr.Netlist, res)
+}
+
+func TestCloudCoverage(t *testing.T) {
+	// Random-logic cloud: most faults should be testable; efficiency must
+	// account for every fault.
+	c := rtl.NewCore("cloudy").
+		In("a", 8).
+		Out("z", 4).
+		Cloud("ctl", 1, 8, 4, 120).
+		Wire("a", "ctl.in0").
+		Wire("ctl.out", "z").
+		MustBuild()
+	sr, err := synth.Synthesize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Generate(sr.Netlist, &Options{BacktrackLimit: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Detected+st.Untestable+st.Aborted != st.Faults {
+		t.Errorf("fault accounting broken: %+v", st)
+	}
+	if st.TestEfficiency() < 90 {
+		t.Errorf("test efficiency = %.1f%%, want >= 90%% (%+v)", st.TestEfficiency(), st)
+	}
+	verify(t, sr.Netlist, res)
+}
+
+func TestCompactionKeepsCoverage(t *testing.T) {
+	n := fullAdder()
+	resFull, err := Generate(n, &Options{Compact: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := n.Faults()
+	compacted := Compact(n, resFull.Patterns, faults)
+	if len(compacted) > len(resFull.Patterns) {
+		t.Errorf("compaction grew the set: %d -> %d", len(resFull.Patterns), len(compacted))
+	}
+	fr1, _ := fsim.Combinational(n, resFull.Patterns, faults)
+	fr2, _ := fsim.Combinational(n, compacted, faults)
+	if fr2.Detected < fr1.Detected {
+		t.Errorf("compaction lost coverage: %d -> %d", fr1.Detected, fr2.Detected)
+	}
+}
+
+func TestStatsPercentagesEmpty(t *testing.T) {
+	var s Stats
+	if s.FaultCoverage() != 0 || s.TestEfficiency() != 0 {
+		t.Error("zero-fault stats must report 0%")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	n1 := fullAdder()
+	n2 := fullAdder()
+	r1, err := Generate(n1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Generate(n2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Patterns) != len(r2.Patterns) {
+		t.Fatalf("nondeterministic vector count: %d vs %d", len(r1.Patterns), len(r2.Patterns))
+	}
+	for i := range r1.Patterns {
+		for j := range r1.Patterns[i].PI {
+			if r1.Patterns[i].PI[j] != r2.Patterns[i].PI[j] {
+				t.Fatalf("pattern %d differs", i)
+			}
+		}
+	}
+}

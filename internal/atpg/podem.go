@@ -1,0 +1,636 @@
+package atpg
+
+import "repro/internal/gate"
+
+// outcome of a PODEM run.
+type outcome int
+
+const (
+	outDetected outcome = iota
+	outUntestable
+	outAborted
+)
+
+// engine holds per-netlist PODEM state, reused across faults.
+type engine struct {
+	n     *gate.Netlist
+	order []int
+	// good and faulty three-valued line values.
+	gv, fv []byte
+	// controllable lines (PIs and DFF outputs under full scan) and their
+	// index in the assignment vector.
+	ctl    []int
+	ctlIdx map[int]int
+	assign []byte
+	// observable lines: POs plus DFF data inputs (scan capture).
+	obs     map[int]bool
+	obsDist []int // min fanout hops from each line to an observable
+	fanouts [][]int
+	// SCOAP-style controllability costs.
+	cc0, cc1 []int
+	// constant source lines (not in the evaluation order).
+	consts []int
+	// current fault under test.
+	f         gate.Fault
+	site      int
+	victimDFF bool
+}
+
+func newEngine(n *gate.Netlist) (*engine, error) {
+	order, err := n.Order()
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{
+		n:       n,
+		order:   order,
+		gv:      make([]byte, len(n.Gates)),
+		fv:      make([]byte, len(n.Gates)),
+		ctlIdx:  make(map[int]int),
+		obs:     make(map[int]bool),
+		fanouts: n.Fanouts(),
+	}
+	for _, pi := range n.PIs() {
+		e.ctlIdx[pi] = len(e.ctl)
+		e.ctl = append(e.ctl, pi)
+	}
+	for _, d := range n.DFFs() {
+		e.ctlIdx[d] = len(e.ctl)
+		e.ctl = append(e.ctl, d)
+	}
+	e.assign = make([]byte, len(e.ctl))
+	for _, po := range n.POs {
+		e.obs[po] = true
+	}
+	for _, d := range n.DFFs() {
+		e.obs[n.Gates[d].Fanin[0]] = true
+	}
+	for i, g := range n.Gates {
+		if g.Type == gate.Const0 || g.Type == gate.Const1 {
+			e.consts = append(e.consts, i)
+		}
+	}
+	e.computeObsDist()
+	e.computeControllability()
+	return e, nil
+}
+
+func (e *engine) computeObsDist() {
+	const inf = 1 << 30
+	e.obsDist = make([]int, len(e.n.Gates))
+	for i := range e.obsDist {
+		e.obsDist[i] = inf
+	}
+	// BFS backwards from observables over fanin edges.
+	var queue []int
+	for line := range e.obs {
+		e.obsDist[line] = 0
+		queue = append(queue, line)
+	}
+	for len(queue) > 0 {
+		line := queue[0]
+		queue = queue[1:]
+		for _, f := range e.n.Gates[line].Fanin {
+			if e.obsDist[f] > e.obsDist[line]+1 {
+				e.obsDist[f] = e.obsDist[line] + 1
+				queue = append(queue, f)
+			}
+		}
+	}
+}
+
+// computeControllability assigns simplified SCOAP CC0/CC1 costs.
+func (e *engine) computeControllability() {
+	const inf = 1 << 28
+	e.cc0 = make([]int, len(e.n.Gates))
+	e.cc1 = make([]int, len(e.n.Gates))
+	for i := range e.cc0 {
+		e.cc0[i], e.cc1[i] = inf, inf
+	}
+	for _, c := range e.ctl {
+		e.cc0[c], e.cc1[c] = 1, 1
+	}
+	// Constant sources sit outside the evaluation order; pin their costs
+	// here (one value free, the other unreachable).
+	for _, id := range e.consts {
+		if e.n.Gates[id].Type == gate.Const1 {
+			e.cc1[id] = 0
+		} else {
+			e.cc0[id] = 0
+		}
+	}
+	min := func(a, b int) int {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	for _, id := range e.order {
+		g := &e.n.Gates[id]
+		in := g.Fanin
+		switch g.Type {
+		case gate.Buf:
+			e.cc0[id] = e.cc0[in[0]] + 1
+			e.cc1[id] = e.cc1[in[0]] + 1
+		case gate.Inv:
+			e.cc0[id] = e.cc1[in[0]] + 1
+			e.cc1[id] = e.cc0[in[0]] + 1
+		case gate.And:
+			e.cc0[id] = min(e.cc0[in[0]], e.cc0[in[1]]) + 1
+			e.cc1[id] = e.cc1[in[0]] + e.cc1[in[1]] + 1
+		case gate.Nand:
+			e.cc1[id] = min(e.cc0[in[0]], e.cc0[in[1]]) + 1
+			e.cc0[id] = e.cc1[in[0]] + e.cc1[in[1]] + 1
+		case gate.Or:
+			e.cc1[id] = min(e.cc1[in[0]], e.cc1[in[1]]) + 1
+			e.cc0[id] = e.cc0[in[0]] + e.cc0[in[1]] + 1
+		case gate.Nor:
+			e.cc0[id] = min(e.cc1[in[0]], e.cc1[in[1]]) + 1
+			e.cc1[id] = e.cc0[in[0]] + e.cc0[in[1]] + 1
+		case gate.Xor, gate.Xnor:
+			a0, a1 := e.cc0[in[0]], e.cc1[in[0]]
+			b0, b1 := e.cc0[in[1]], e.cc1[in[1]]
+			same := min(a0+b0, a1+b1) + 1
+			diff := min(a0+b1, a1+b0) + 1
+			if g.Type == gate.Xor {
+				e.cc0[id], e.cc1[id] = same, diff
+			} else {
+				e.cc0[id], e.cc1[id] = diff, same
+			}
+		case gate.Mux:
+			s0, s1 := e.cc0[in[2]], e.cc1[in[2]]
+			e.cc0[id] = min(s0+e.cc0[in[0]], s1+e.cc0[in[1]]) + 1
+			e.cc1[id] = min(s0+e.cc1[in[0]], s1+e.cc1[in[1]]) + 1
+		case gate.Const0:
+			e.cc0[id] = 0
+		case gate.Const1:
+			e.cc1[id] = 0
+		}
+	}
+}
+
+// three-valued operators.
+func and3(a, b byte) byte {
+	if a == lo || b == lo {
+		return lo
+	}
+	if a == hi && b == hi {
+		return hi
+	}
+	return xx
+}
+
+func or3(a, b byte) byte {
+	if a == hi || b == hi {
+		return hi
+	}
+	if a == lo && b == lo {
+		return lo
+	}
+	return xx
+}
+
+func inv3(a byte) byte {
+	switch a {
+	case lo:
+		return hi
+	case hi:
+		return lo
+	}
+	return xx
+}
+
+func xor3(a, b byte) byte {
+	if a == xx || b == xx {
+		return xx
+	}
+	return a ^ b
+}
+
+func mux3(a, b, s byte) byte {
+	switch s {
+	case lo:
+		return a
+	case hi:
+		return b
+	}
+	if a == b && a != xx {
+		return a
+	}
+	return xx
+}
+
+func eval3(t gate.Type, a, b, c byte) byte {
+	switch t {
+	case gate.Buf:
+		return a
+	case gate.Inv:
+		return inv3(a)
+	case gate.And:
+		return and3(a, b)
+	case gate.Or:
+		return or3(a, b)
+	case gate.Nand:
+		return inv3(and3(a, b))
+	case gate.Nor:
+		return inv3(or3(a, b))
+	case gate.Xor:
+		return xor3(a, b)
+	case gate.Xnor:
+		return inv3(xor3(a, b))
+	case gate.Mux:
+		return mux3(a, b, c)
+	case gate.Const0:
+		return lo
+	case gate.Const1:
+		return hi
+	}
+	return xx
+}
+
+// imply performs full forward implication of good and faulty circuits from
+// the current assignment.
+func (e *engine) imply() {
+	for i, c := range e.ctl {
+		e.gv[c] = e.assign[i]
+		e.fv[c] = e.assign[i]
+	}
+	// Constant lines are sources outside the evaluation order; their
+	// values must be pinned every pass (the arrays are reused).
+	for _, id := range e.consts {
+		v := lo
+		if e.n.Gates[id].Type == gate.Const1 {
+			v = hi
+		}
+		e.gv[id] = v
+		e.fv[id] = v
+	}
+	// Stem fault on a controllable line: faulty value forced.
+	if e.f.Branch < 0 {
+		if _, isCtl := e.ctlIdx[e.f.Line]; isCtl {
+			e.fv[e.f.Line] = e.f.Stuck
+		}
+	}
+	for _, id := range e.order {
+		g := &e.n.Gates[id]
+		var ga, gb, gc, fa, fb, fc byte
+		switch len(g.Fanin) {
+		case 3:
+			gc, fc = e.gv[g.Fanin[2]], e.faninFv(id, 2)
+			fallthrough
+		case 2:
+			gb, fb = e.gv[g.Fanin[1]], e.faninFv(id, 1)
+			fallthrough
+		case 1:
+			ga, fa = e.gv[g.Fanin[0]], e.faninFv(id, 0)
+		}
+		e.gv[id] = eval3(g.Type, ga, gb, gc)
+		e.fv[id] = eval3(g.Type, fa, fb, fc)
+		if e.f.Branch < 0 && id == e.f.Line {
+			e.fv[id] = e.f.Stuck
+		}
+	}
+}
+
+// faninFv returns the faulty value of a fanin as seen by gate id (with
+// branch-fault corruption).
+func (e *engine) faninFv(id, branch int) byte {
+	if e.f.Branch == branch && e.f.Line == id {
+		return e.f.Stuck
+	}
+	return e.fv[e.n.Gates[id].Fanin[branch]]
+}
+
+// detected reports whether a D or D' has reached an observable line.
+func (e *engine) detected() bool {
+	for line := range e.obs {
+		if e.gv[line] != xx && e.fv[line] != xx && e.gv[line] != e.fv[line] {
+			return true
+		}
+	}
+	// Branch fault victimizing a DFF: the corrupted capture is directly
+	// observable through the scan chain.
+	if e.victimDFF {
+		if g := e.gv[e.site]; g != xx && g != e.f.Stuck {
+			return true
+		}
+	}
+	return false
+}
+
+// activated reports whether the fault site carries a definite discrepancy.
+func (e *engine) activated() bool {
+	g := e.gv[e.site]
+	return g != xx && g != e.f.Stuck
+}
+
+// activationImpossible reports whether the good value at the site is fixed
+// at the stuck value.
+func (e *engine) activationImpossible() bool {
+	return e.gv[e.site] == e.f.Stuck
+}
+
+// dFrontier lists gates with an undetermined output and a D on some fanin.
+func (e *engine) dFrontier() []int {
+	var out []int
+	for _, id := range e.order {
+		if e.gv[id] != xx && e.fv[id] != xx {
+			continue
+		}
+		g := &e.n.Gates[id]
+		for b := range g.Fanin {
+			fg := e.gv[g.Fanin[b]]
+			ff := e.faninFv(id, b)
+			if fg != xx && ff != xx && fg != ff {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// xPathExists checks whether an X-path leads from any frontier gate to an
+// observable line.
+func (e *engine) xPathExists(frontier []int) bool {
+	seen := make(map[int]bool)
+	var stack []int
+	for _, id := range frontier {
+		stack = append(stack, id)
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		if e.obs[id] {
+			return true
+		}
+		for _, fo := range e.fanouts[id] {
+			if e.gv[fo] == xx || e.fv[fo] == xx {
+				stack = append(stack, fo)
+			}
+		}
+	}
+	return false
+}
+
+// objective returns the next (line, value) goal, or ok=false when no useful
+// objective exists (dead end).
+func (e *engine) objective() (line int, val byte, ok bool) {
+	if !e.activated() {
+		if e.gv[e.site] == xx {
+			return e.site, inv3(e.f.Stuck), true // want complement of stuck
+		}
+		return 0, 0, false
+	}
+	frontier := e.dFrontier()
+	if len(frontier) == 0 {
+		return 0, 0, false
+	}
+	// Choose the frontier gate closest to an observable.
+	best := frontier[0]
+	for _, id := range frontier[1:] {
+		if e.obsDist[id] < e.obsDist[best] {
+			best = id
+		}
+	}
+	g := &e.n.Gates[best]
+	// Set an X fanin to the non-controlling value.
+	pick := func(want byte) (int, byte, bool) {
+		for b, f := range g.Fanin {
+			if e.gv[f] == xx && !(e.f.Branch == b && e.f.Line == best) {
+				return f, want, true
+			}
+		}
+		return 0, 0, false
+	}
+	switch g.Type {
+	case gate.And, gate.Nand:
+		return pick(hi)
+	case gate.Or, gate.Nor:
+		return pick(lo)
+	case gate.Xor, gate.Xnor, gate.Buf, gate.Inv:
+		return pick(lo)
+	case gate.Mux:
+		// Steer the select toward the D-carrying data input, or propagate
+		// a D on the select by differentiating the data inputs.
+		dIn := -1
+		for b := 0; b < 2; b++ {
+			fg, ff := e.gv[g.Fanin[b]], e.faninFv(best, b)
+			if fg != xx && ff != xx && fg != ff {
+				dIn = b
+			}
+		}
+		if dIn >= 0 && e.gv[g.Fanin[2]] == xx {
+			return g.Fanin[2], byte(dIn), true
+		}
+		// D on select: need in0 != in1.
+		if e.gv[g.Fanin[0]] == xx {
+			return g.Fanin[0], lo, true
+		}
+		if e.gv[g.Fanin[1]] == xx {
+			return g.Fanin[1], inv3(e.gv[g.Fanin[0]]), true
+		}
+		return 0, 0, false
+	}
+	return 0, 0, false
+}
+
+// backtrace walks an objective back to an unassigned controllable line.
+func (e *engine) backtrace(line int, val byte) (ctlLine int, ctlVal byte, ok bool) {
+	for steps := 0; steps < 4*len(e.n.Gates)+8; steps++ {
+		if _, isCtl := e.ctlIdx[line]; isCtl {
+			if e.gv[line] != xx {
+				return 0, 0, false // already assigned: conflict
+			}
+			return line, val, true
+		}
+		g := &e.n.Gates[line]
+		pickX := func(prefer byte) int {
+			bestIn, bestCost := -1, 1<<30
+			for _, f := range g.Fanin {
+				if e.gv[f] != xx {
+					continue
+				}
+				cost := e.cc0[f]
+				if prefer == hi {
+					cost = e.cc1[f]
+				}
+				if cost < bestCost {
+					bestIn, bestCost = f, cost
+				}
+			}
+			return bestIn
+		}
+		switch g.Type {
+		case gate.Buf:
+			line = g.Fanin[0]
+		case gate.Inv:
+			line, val = g.Fanin[0], inv3(val)
+		case gate.And, gate.Nand:
+			want := val
+			if g.Type == gate.Nand {
+				want = inv3(val)
+			}
+			// want==1: all inputs 1 (pick any X); want==0: one input 0.
+			in := pickX(want)
+			if in < 0 {
+				return 0, 0, false
+			}
+			line, val = in, want
+		case gate.Or, gate.Nor:
+			want := val
+			if g.Type == gate.Nor {
+				want = inv3(val)
+			}
+			in := pickX(want)
+			if in < 0 {
+				return 0, 0, false
+			}
+			line, val = in, want
+		case gate.Xor, gate.Xnor:
+			a, b := g.Fanin[0], g.Fanin[1]
+			target := val
+			if g.Type == gate.Xnor {
+				target = inv3(val)
+			}
+			switch {
+			case e.gv[a] == xx && e.gv[b] == xx:
+				line, val = a, lo
+			case e.gv[a] == xx:
+				line, val = a, target^e.gv[b]
+			case e.gv[b] == xx:
+				line, val = b, target^e.gv[a]
+			default:
+				return 0, 0, false
+			}
+		case gate.Mux:
+			in0, in1, sel := g.Fanin[0], g.Fanin[1], g.Fanin[2]
+			switch e.gv[sel] {
+			case lo:
+				line = in0
+			case hi:
+				line = in1
+			default:
+				// Choose the cheaper steering.
+				c0 := e.cc0[sel]
+				c1 := e.cc1[sel]
+				if c0 <= c1 {
+					line, val = sel, lo
+				} else {
+					line, val = sel, hi
+				}
+			}
+		case gate.Const0, gate.Const1, gate.Input, gate.DFF:
+			return 0, 0, false
+		default:
+			return 0, 0, false
+		}
+	}
+	return 0, 0, false
+}
+
+type decision struct {
+	ctl     int // index into e.ctl
+	flipped bool
+}
+
+// podem runs the PODEM search for fault f.
+func (e *engine) podem(f gate.Fault, backtrackLimit int) outcome {
+	e.f = f
+	e.site = e.n.FaultSite(f)
+	e.victimDFF = f.Branch >= 0 && e.n.Gates[f.Line].Type == gate.DFF
+	for i := range e.assign {
+		e.assign[i] = xx
+	}
+	var stack []decision
+	backtracks := 0
+	for {
+		e.imply()
+		if e.detected() {
+			return outDetected
+		}
+		fail := false
+		if e.activationImpossible() {
+			fail = true
+		} else if e.activated() && !e.victimDFF {
+			frontier := e.dFrontier()
+			if len(frontier) == 0 || !e.xPathExists(frontier) {
+				fail = true
+			}
+		}
+		var objLine int
+		var objVal byte
+		if !fail {
+			var ok bool
+			objLine, objVal, ok = e.objective()
+			if !ok {
+				fail = true
+			}
+		}
+		var ctlLine int
+		var ctlVal byte
+		if !fail {
+			var ok bool
+			ctlLine, ctlVal, ok = e.backtrace(objLine, objVal)
+			if !ok {
+				fail = true
+			}
+		}
+		if fail {
+			// Backtrack: flip the most recent unflipped decision.
+			flipped := false
+			for len(stack) > 0 {
+				top := &stack[len(stack)-1]
+				if !top.flipped {
+					top.flipped = true
+					e.assign[top.ctl] ^= 1
+					flipped = true
+					backtracks++
+					break
+				}
+				e.assign[top.ctl] = xx
+				stack = stack[:len(stack)-1]
+			}
+			if !flipped {
+				return outUntestable
+			}
+			if backtracks > backtrackLimit {
+				return outAborted
+			}
+			continue
+		}
+		ci := e.ctlIdx[ctlLine]
+		e.assign[ci] = ctlVal
+		stack = append(stack, decision{ctl: ci})
+	}
+}
+
+// extractPattern converts the current assignment into a concrete pattern,
+// randomly filling don't-cares.
+func (e *engine) extractPattern(rng *splitMix) gate.Pattern {
+	pis := e.n.PIs()
+	dffs := e.n.DFFs()
+	p := gate.Pattern{PI: make([]byte, len(pis))}
+	if len(dffs) > 0 {
+		p.State = make([]byte, len(dffs))
+	}
+	for i, line := range pis {
+		v := e.assign[e.ctlIdx[line]]
+		if v == xx {
+			v = byte(rng.next() & 1)
+		}
+		p.PI[i] = v
+	}
+	for i, line := range dffs {
+		v := e.assign[e.ctlIdx[line]]
+		if v == xx {
+			v = byte(rng.next() & 1)
+		}
+		p.State[i] = v
+	}
+	return p
+}

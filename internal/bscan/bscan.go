@@ -1,0 +1,117 @@
+// Package bscan implements the FSCAN-BSCAN baseline of Sections 1 and 6:
+// every core is made testable with conventional full scan (every flip-flop
+// becomes a scan flip-flop) and isolated with boundary-scan cells on its
+// internal pins. The chip-level test applies each core's precomputed
+// vectors through one concatenated scan+boundary chain per core:
+//
+//	TAT(core) = (ff + in) × V + (ff + in) − 1
+//
+// (the DISPLAY's (66+20)×105 + 85 = 9,115 cycles of Section 3).
+package bscan
+
+import (
+	"repro/internal/cell"
+	"repro/internal/soc"
+)
+
+// CoreResult is the FSCAN-BSCAN accounting for one core.
+type CoreResult struct {
+	Core       string
+	FFs        int
+	InternalIn int // internal input bits isolated by boundary scan
+	Vectors    int
+	TAT        int
+	ScanArea   cell.Area // full-scan upgrade (DFF -> SDFF)
+	BscanArea  cell.Area // boundary-scan cells
+}
+
+// ChainBits returns the scan+boundary chain length of the core.
+func (c *CoreResult) ChainBits() int { return c.FFs + c.InternalIn }
+
+// Result is the chip-level FSCAN-BSCAN accounting.
+type Result struct {
+	Cores    []*CoreResult
+	TotalTAT int
+}
+
+// ScanCells returns the total full-scan upgrade cell count.
+func (r *Result) ScanCells() int {
+	n := 0
+	for _, c := range r.Cores {
+		n += c.ScanArea.Cells()
+	}
+	return n
+}
+
+// BscanCells returns the total boundary-scan cell count.
+func (r *Result) BscanCells() int {
+	n := 0
+	for _, c := range r.Cores {
+		n += c.BscanArea.Cells()
+	}
+	return n
+}
+
+// internalInputBits counts the core's input bits that are not chip PIs
+// (those need boundary-scan isolation; pins wired straight to chip pins
+// are controllable for free).
+func internalInputBits(ch *soc.Chip, c *soc.Core) int {
+	bits := 0
+	for _, p := range c.RTL.Inputs() {
+		fromChip := false
+		for _, n := range ch.DriversOf(c.Name, p.Name) {
+			if n.FromCore == "" {
+				fromChip = true
+			}
+		}
+		if !fromChip {
+			bits += p.Width
+		}
+	}
+	return bits
+}
+
+// Evaluate computes FSCAN-BSCAN area and TAT for the chip's testable
+// cores. Vector counts must already be stored in each core (the same
+// precomputed test sets SOCET uses; full scan applies plain combinational
+// vectors, so the per-core count is c.Vectors).
+func Evaluate(ch *soc.Chip) *Result {
+	res := &Result{}
+	for _, c := range ch.TestableCores() {
+		cr := &CoreResult{
+			Core:       c.Name,
+			FFs:        c.RTL.FFCount(),
+			InternalIn: internalInputBits(ch, c),
+			Vectors:    c.Vectors,
+		}
+		n := cr.ChainBits()
+		if cr.Vectors > 0 {
+			cr.TAT = n*cr.Vectors + n - 1
+		}
+		// Full scan: every DFF upgraded to a scan DFF; count the scan mux
+		// added per flip-flop.
+		cr.ScanArea.Add(cell.Mux2, cr.FFs)
+		// Boundary scan: one cell per isolated input bit, plus cells on
+		// output pins feeding other cores (EXTEST isolation).
+		outBits := 0
+		for _, p := range c.RTL.Outputs() {
+			for _, nnet := range ch.SinksOf(c.Name, p.Name) {
+				if nnet.ToCore != "" {
+					outBits += p.Width
+					break
+				}
+			}
+		}
+		cr.BscanArea.Add(cell.BScell, cr.InternalIn+outBits)
+		res.Cores = append(res.Cores, cr)
+		res.TotalTAT += cr.TAT
+	}
+	return res
+}
+
+// DisplayExample reproduces the Section 3 arithmetic for a core with ff
+// flip-flops, in internal input bits and v vectors.
+func DisplayExample(ff, in, v int) int {
+	n := ff + in
+	return n*v + n - 1
+}

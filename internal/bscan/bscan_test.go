@@ -1,0 +1,84 @@
+package bscan
+
+import (
+	"testing"
+
+	"repro/internal/systems"
+)
+
+// TestDisplayExampleSection3 checks the paper's exact FSCAN-BSCAN
+// arithmetic: (66+20) x 105 + (66+20) - 1 = 9,115 cycles.
+func TestDisplayExampleSection3(t *testing.T) {
+	if got := DisplayExample(66, 20, 105); got != 9115 {
+		t.Errorf("DisplayExample = %d, want 9115", got)
+	}
+}
+
+func TestEvaluateSystem1(t *testing.T) {
+	ch := systems.System1()
+	for _, c := range ch.TestableCores() {
+		c.Vectors = 100
+	}
+	res := Evaluate(ch)
+	if len(res.Cores) != 3 {
+		t.Fatalf("evaluated %d cores, want 3", len(res.Cores))
+	}
+	for _, cr := range res.Cores {
+		wantTAT := cr.ChainBits()*cr.Vectors + cr.ChainBits() - 1
+		if cr.TAT != wantTAT {
+			t.Errorf("%s: TAT = %d, want %d", cr.Core, cr.TAT, wantTAT)
+		}
+		if cr.FFs == 0 {
+			t.Errorf("%s: no flip-flops", cr.Core)
+		}
+	}
+	// The DISPLAY's published structure: 66 FFs and 20 internal inputs
+	// (both its buses come from other cores).
+	for _, cr := range res.Cores {
+		if cr.Core != "DISPLAY" {
+			continue
+		}
+		if cr.FFs != 66 {
+			t.Errorf("DISPLAY FFs = %d, want 66", cr.FFs)
+		}
+		if cr.InternalIn != 20 {
+			t.Errorf("DISPLAY internal inputs = %d, want 20", cr.InternalIn)
+		}
+		if cr.TAT != DisplayExample(66, 20, 100) {
+			t.Errorf("DISPLAY TAT = %d mismatch", cr.TAT)
+		}
+	}
+	if res.ScanCells() == 0 || res.BscanCells() == 0 {
+		t.Error("missing scan or boundary-scan area")
+	}
+	if res.TotalTAT <= 0 {
+		t.Error("no total TAT")
+	}
+}
+
+// FSCAN-BSCAN is much slower than SOCET for the same vector counts —
+// that is the headline claim. Here we only check the baseline grows with
+// chain length.
+func TestTATGrowsWithChainLength(t *testing.T) {
+	ch := systems.System1()
+	for _, c := range ch.TestableCores() {
+		c.Vectors = 50
+	}
+	res := Evaluate(ch)
+	var cpu, disp int
+	for _, cr := range res.Cores {
+		switch cr.Core {
+		case "CPU":
+			cpu = cr.TAT
+		case "DISPLAY":
+			disp = cr.TAT
+		}
+	}
+	if cpu == 0 || disp == 0 {
+		t.Fatal("missing cores")
+	}
+	// DISPLAY (66 FFs + 20 in = 86 bits) vs CPU (58 FFs + 10-11 in).
+	if disp <= cpu {
+		t.Errorf("DISPLAY chain (86 bits) should cost more than CPU: %d vs %d", disp, cpu)
+	}
+}

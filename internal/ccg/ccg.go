@@ -1,0 +1,363 @@
+// Package ccg builds the core connectivity graph of Section 5 (Figure 9):
+// nodes are chip pins and core ports, edges are chip interconnect wires
+// (zero latency), per-core transparency pairs of the selected core version
+// (their cost is the transparency latency), and system-level test
+// multiplexers added when no path exists. Shortest test paths are found
+// with a reservation-aware Dijkstra: reusing a reserved edge waits until
+// the reserved cycles have passed, exactly as in Section 5.1.
+package ccg
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/rtl"
+	"repro/internal/soc"
+	"repro/internal/trans"
+)
+
+// NodeKind classifies CCG nodes.
+type NodeKind int
+
+// CCG node kinds.
+const (
+	ChipPI NodeKind = iota
+	ChipPO
+	CoreIn
+	CoreOut
+)
+
+// Node is one CCG node.
+type Node struct {
+	Kind NodeKind
+	Core string // empty for chip pins
+	Port string
+}
+
+// Name returns the display name ("NUM" or "CPU.Data").
+func (n Node) Name() string {
+	if n.Core == "" {
+		return n.Port
+	}
+	return n.Core + "." + n.Port
+}
+
+// EdgeKind classifies CCG edges.
+type EdgeKind int
+
+// CCG edge kinds.
+const (
+	Wire    EdgeKind = iota // chip interconnect, zero latency
+	Trans                   // transparency pair through a core
+	TestMux                 // system-level test multiplexer
+)
+
+// ResKey identifies a shared physical resource: a specific RCG edge of a
+// specific core. Transparency pairs sharing a resource cannot move data in
+// overlapping cycle windows.
+type ResKey struct {
+	Core string
+	Edge int
+}
+
+// Edge is one CCG edge.
+type Edge struct {
+	ID      int
+	From    int
+	To      int
+	Kind    EdgeKind
+	Latency int
+	Res     []ResKey
+}
+
+// Graph is the core connectivity graph.
+type Graph struct {
+	Chip  *soc.Chip
+	Nodes []Node
+	Edges []*Edge
+	Out   [][]int
+	idx   map[string]int
+}
+
+// NodeIndex looks a node up by display name.
+func (g *Graph) NodeIndex(name string) (int, bool) {
+	i, ok := g.idx[name]
+	return i, ok
+}
+
+// Build assembles the CCG from the chip using each testable core's
+// currently selected transparency version. Memory cores are excluded
+// (they are tested by BIST, Section 5).
+func Build(ch *soc.Chip) (*Graph, error) {
+	if err := ch.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Graph{Chip: ch, idx: map[string]int{}}
+	add := func(n Node) int {
+		if i, ok := g.idx[n.Name()]; ok {
+			return i
+		}
+		g.idx[n.Name()] = len(g.Nodes)
+		g.Nodes = append(g.Nodes, n)
+		return len(g.Nodes) - 1
+	}
+	for _, p := range ch.PIs {
+		add(Node{Kind: ChipPI, Port: p.Name})
+	}
+	for _, p := range ch.POs {
+		add(Node{Kind: ChipPO, Port: p.Name})
+	}
+	for _, c := range ch.TestableCores() {
+		for _, p := range c.RTL.Ports {
+			k := CoreIn
+			if p.Dir == rtl.Out {
+				k = CoreOut
+			}
+			add(Node{Kind: k, Core: c.Name, Port: p.Name})
+		}
+	}
+	addEdge := func(e Edge) *Edge {
+		e.ID = len(g.Edges)
+		ep := &e
+		g.Edges = append(g.Edges, ep)
+		return ep
+	}
+	// Interconnect wires. Nets touching memory cores are dropped from the
+	// CCG (the memory is not transparent).
+	for _, n := range ch.Nets {
+		fromName := n.FromPort
+		if n.FromCore != "" {
+			if c, ok := ch.CoreByName(n.FromCore); ok && c.Memory {
+				continue
+			}
+			fromName = n.FromCore + "." + n.FromPort
+		}
+		toName := n.ToPort
+		if n.ToCore != "" {
+			if c, ok := ch.CoreByName(n.ToCore); ok && c.Memory {
+				continue
+			}
+			toName = n.ToCore + "." + n.ToPort
+		}
+		from, ok1 := g.idx[fromName]
+		to, ok2 := g.idx[toName]
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("ccg: chip %s: net %s references missing node", ch.Name, n)
+		}
+		addEdge(Edge{From: from, To: to, Kind: Wire})
+	}
+	// Transparency pairs of each selected version.
+	for _, c := range ch.TestableCores() {
+		v := c.Version()
+		if v == nil {
+			continue
+		}
+		seen := map[[2]string]bool{}
+		for _, pairs := range [][]trans.Pair{v.JustPairs(), v.PropPairs()} {
+			for _, p := range pairs {
+				key := [2]string{p.In, p.Out}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				from, ok1 := g.idx[c.Name+"."+p.In]
+				to, ok2 := g.idx[c.Name+"."+p.Out]
+				if !ok1 || !ok2 {
+					continue
+				}
+				var res []ResKey
+				var eids []int
+				for eid := range p.Edges {
+					eids = append(eids, eid)
+				}
+				sort.Ints(eids)
+				for _, eid := range eids {
+					res = append(res, ResKey{Core: c.Name, Edge: eid})
+				}
+				lat := p.Latency
+				if lat < 1 {
+					lat = 1
+				}
+				addEdge(Edge{From: from, To: to, Kind: Trans, Latency: lat, Res: res})
+			}
+		}
+	}
+	g.rebuildOut()
+	return g, nil
+}
+
+func (g *Graph) rebuildOut() {
+	g.Out = make([][]int, len(g.Nodes))
+	for _, e := range g.Edges {
+		g.Out[e.From] = append(g.Out[e.From], e.ID)
+	}
+}
+
+// AddTestMux inserts a system-level test multiplexer edge (PI -> core
+// input, or core output -> PO) and returns it.
+func (g *Graph) AddTestMux(from, to int) *Edge {
+	e := &Edge{
+		ID:   len(g.Edges),
+		From: from, To: to,
+		Kind:    TestMux,
+		Latency: 0,
+	}
+	g.Edges = append(g.Edges, e)
+	g.Out[from] = append(g.Out[from], e.ID)
+	return e
+}
+
+// Interval is a half-open busy window [Start, End).
+type Interval struct{ Start, End int }
+
+// Reservations tracks busy windows per shared resource.
+type Reservations map[ResKey][]Interval
+
+// earliestFree finds the first start >= t such that [start, start+dur)
+// avoids every reservation of every resource in res.
+func (r Reservations) earliestFree(res []ResKey, t, dur int) int {
+	if dur == 0 {
+		return t
+	}
+	start := t
+	for changed := true; changed; {
+		changed = false
+		for _, k := range res {
+			for _, iv := range r[k] {
+				if start < iv.End && start+dur > iv.Start {
+					start = iv.End
+					changed = true
+				}
+			}
+		}
+	}
+	return start
+}
+
+// Reserve marks [start, start+dur) busy on all resources.
+func (r Reservations) Reserve(res []ResKey, start, dur int) {
+	if dur == 0 {
+		return
+	}
+	for _, k := range res {
+		r[k] = append(r[k], Interval{start, start + dur})
+	}
+}
+
+// Step is one edge traversal of a found path.
+type Step struct {
+	Edge  *Edge
+	Start int // cycle the edge begins moving data
+	End   int // Start + Latency
+}
+
+// PathResult is a reservation-aware shortest path.
+type PathResult struct {
+	Steps   []Step
+	Arrival int
+}
+
+type pqItem struct {
+	node int
+	time int
+}
+
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].time < p[j].time }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// ShortestPath finds the earliest-arrival path from any node in sources
+// (available from cycle 0) to target, honoring reservations: a reserved
+// edge can only be entered once its busy windows have passed (the paper's
+// modified Dijkstra of Section 5.1). It returns nil when no path exists.
+func (g *Graph) ShortestPath(sources []int, target int, resv Reservations) *PathResult {
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, len(g.Nodes))
+	predEdge := make([]int, len(g.Nodes))
+	predStart := make([]int, len(g.Nodes))
+	for i := range dist {
+		dist[i] = inf
+		predEdge[i] = -1
+	}
+	h := &pq{}
+	for _, s := range sources {
+		if dist[s] > 0 {
+			dist[s] = 0
+			heap.Push(h, pqItem{s, 0})
+		}
+	}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		if it.time > dist[it.node] {
+			continue
+		}
+		if it.node == target {
+			break
+		}
+		for _, eid := range g.Out[it.node] {
+			e := g.Edges[eid]
+			start := resv.earliestFree(e.Res, it.time, e.Latency)
+			arr := start + e.Latency
+			if arr < dist[e.To] {
+				dist[e.To] = arr
+				predEdge[e.To] = eid
+				predStart[e.To] = start
+				heap.Push(h, pqItem{e.To, arr})
+			}
+		}
+	}
+	if dist[target] == inf {
+		return nil
+	}
+	// Reconstruct.
+	var steps []Step
+	for at := target; predEdge[at] >= 0; {
+		e := g.Edges[predEdge[at]]
+		steps = append(steps, Step{Edge: e, Start: predStart[at], End: predStart[at] + e.Latency})
+		at = e.From
+	}
+	for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+		steps[i], steps[j] = steps[j], steps[i]
+	}
+	return &PathResult{Steps: steps, Arrival: dist[target]}
+}
+
+// ReservePath books every step of the path.
+func (g *Graph) ReservePath(p *PathResult, resv Reservations) {
+	for _, s := range p.Steps {
+		resv.Reserve(s.Edge.Res, s.Start, s.Edge.Latency)
+	}
+}
+
+// PINodes returns all chip PI node indices.
+func (g *Graph) PINodes() []int {
+	var out []int
+	for i, n := range g.Nodes {
+		if n.Kind == ChipPI {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// PONodes returns all chip PO node indices.
+func (g *Graph) PONodes() []int {
+	var out []int
+	for i, n := range g.Nodes {
+		if n.Kind == ChipPO {
+			out = append(out, i)
+		}
+	}
+	return out
+}

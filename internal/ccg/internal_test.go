@@ -1,0 +1,22 @@
+package ccg
+
+import "testing"
+
+func TestEarliestFree(t *testing.T) {
+	r := Reservations{}
+	key := ResKey{Core: "X", Edge: 1}
+	r.Reserve([]ResKey{key}, 0, 5)
+	r.Reserve([]ResKey{key}, 8, 2)
+	cases := []struct{ t, dur, want int }{
+		{0, 3, 5},  // blocked by [0,5)
+		{5, 3, 5},  // fits [5,8)
+		{5, 4, 10}, // would overlap [8,10)
+		{10, 4, 10},
+		{0, 0, 0}, // zero duration never waits
+	}
+	for _, tc := range cases {
+		if got := r.earliestFree([]ResKey{key}, tc.t, tc.dur); got != tc.want {
+			t.Errorf("earliestFree(t=%d,dur=%d) = %d, want %d", tc.t, tc.dur, got, tc.want)
+		}
+	}
+}

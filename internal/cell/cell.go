@@ -1,0 +1,183 @@
+// Package cell models a standard-cell library in the style of the 0.8µm
+// library the paper's in-house synthesis tool mapped to. Areas are reported
+// in "cells", i.e. the number of mapped library cells, which is the unit
+// used throughout the paper's tables (Figures 6 and 8, Table 2).
+//
+// Each Kind also carries an area in abstract grid units so that finer
+// comparisons (e.g. a scan flip-flop versus a plain flip-flop) remain
+// meaningful, but every public result in this repository counts cells.
+package cell
+
+import "fmt"
+
+// Kind identifies a library cell.
+type Kind int
+
+// Library cells. The set is deliberately small: the synthesizer in
+// internal/synth maps every RTL operator onto these primitives.
+const (
+	Inv Kind = iota
+	Buf
+	Nand2
+	Nor2
+	And2
+	Or2
+	Xor2
+	Xnor2
+	Mux2 // 2-to-1 multiplexer, one select
+	DFF  // D flip-flop
+	SDFF // scan D flip-flop (DFF with integrated scan mux)
+	TieLo
+	TieHi
+	BScell // boundary-scan cell (capture/update latch pair + muxes)
+	numKinds
+)
+
+var names = [...]string{
+	Inv:    "INV",
+	Buf:    "BUF",
+	Nand2:  "NAND2",
+	Nor2:   "NOR2",
+	And2:   "AND2",
+	Or2:    "OR2",
+	Xor2:   "XOR2",
+	Xnor2:  "XNOR2",
+	Mux2:   "MUX2",
+	DFF:    "DFF",
+	SDFF:   "SDFF",
+	TieLo:  "TIE0",
+	TieHi:  "TIE1",
+	BScell: "BSCELL",
+}
+
+// grid area units per cell, loosely proportional to a 0.8µm library.
+var grids = [...]int{
+	Inv:    1,
+	Buf:    1,
+	Nand2:  1,
+	Nor2:   1,
+	And2:   2,
+	Or2:    2,
+	Xor2:   3,
+	Xnor2:  3,
+	Mux2:   3,
+	DFF:    6,
+	SDFF:   9,
+	TieLo:  1,
+	TieHi:  1,
+	BScell: 14,
+}
+
+// String returns the library name of the cell kind.
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(names) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return names[k]
+}
+
+// Grids returns the abstract grid area of one instance of k.
+func (k Kind) Grids() int {
+	if k < 0 || int(k) >= len(grids) {
+		return 0
+	}
+	return grids[k]
+}
+
+// Inputs returns the number of data inputs of the cell kind.
+func (k Kind) Inputs() int {
+	switch k {
+	case Inv, Buf, DFF:
+		return 1
+	case Nand2, Nor2, And2, Or2, Xor2, Xnor2, SDFF:
+		return 2 // SDFF: d and scan-in (scan-enable is a control pin)
+	case Mux2:
+		return 3 // in0, in1, sel
+	case TieLo, TieHi:
+		return 0
+	case BScell:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// Sequential reports whether the cell holds state.
+func (k Kind) Sequential() bool {
+	return k == DFF || k == SDFF || k == BScell
+}
+
+// Area is an accumulating area report.
+type Area struct {
+	counts [numKinds]int
+}
+
+// Add records n instances of kind k.
+func (a *Area) Add(k Kind, n int) {
+	if k >= 0 && int(k) < len(a.counts) {
+		a.counts[k] += n
+	}
+}
+
+// AddArea merges another area report into a.
+func (a *Area) AddArea(b Area) {
+	for k := range a.counts {
+		a.counts[k] += b.counts[k]
+	}
+}
+
+// Count returns the number of instances of kind k.
+func (a *Area) Count(k Kind) int {
+	if k < 0 || int(k) >= len(a.counts) {
+		return 0
+	}
+	return a.counts[k]
+}
+
+// Cells returns the total number of library cells, the paper's area unit.
+func (a *Area) Cells() int {
+	total := 0
+	for _, n := range a.counts {
+		total += n
+	}
+	return total
+}
+
+// Grids returns the total abstract grid area.
+func (a *Area) Grids() int {
+	total := 0
+	for k, n := range a.counts {
+		total += n * Kind(k).Grids()
+	}
+	return total
+}
+
+// Sequential returns the number of sequential cells (flip-flops and
+// boundary-scan cells).
+func (a *Area) Sequential() int {
+	n := 0
+	for k, c := range a.counts {
+		if Kind(k).Sequential() {
+			n += c
+		}
+	}
+	return n
+}
+
+// String formats the non-zero entries of the report.
+func (a *Area) String() string {
+	s := ""
+	for k, n := range a.counts {
+		if n == 0 {
+			continue
+		}
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("%s:%d", Kind(k), n)
+	}
+	if s == "" {
+		return "(empty)"
+	}
+	return s
+}

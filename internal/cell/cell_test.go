@@ -1,0 +1,57 @@
+package cell
+
+import "testing"
+
+func TestAreaAccounting(t *testing.T) {
+	var a Area
+	a.Add(Inv, 3)
+	a.Add(DFF, 2)
+	a.Add(Mux2, 1)
+	if got := a.Cells(); got != 6 {
+		t.Errorf("Cells = %d, want 6", got)
+	}
+	if got := a.Grids(); got != 3*1+2*6+1*3 {
+		t.Errorf("Grids = %d, want %d", got, 3+12+3)
+	}
+	if got := a.Sequential(); got != 2 {
+		t.Errorf("Sequential = %d, want 2", got)
+	}
+	var b Area
+	b.Add(Inv, 1)
+	a.AddArea(b)
+	if got := a.Count(Inv); got != 4 {
+		t.Errorf("Count(Inv) = %d, want 4", got)
+	}
+}
+
+func TestKindProperties(t *testing.T) {
+	if !DFF.Sequential() || !SDFF.Sequential() || !BScell.Sequential() {
+		t.Error("flip-flops must be sequential")
+	}
+	if Inv.Sequential() || Mux2.Sequential() {
+		t.Error("combinational cells must not be sequential")
+	}
+	if Mux2.Inputs() != 3 {
+		t.Errorf("Mux2.Inputs = %d, want 3", Mux2.Inputs())
+	}
+	if DFF.Inputs() != 1 {
+		t.Errorf("DFF.Inputs = %d, want 1", DFF.Inputs())
+	}
+	if Inv.String() != "INV" || SDFF.String() != "SDFF" {
+		t.Errorf("unexpected names %s %s", Inv, SDFF)
+	}
+	if Kind(99).Grids() != 0 {
+		t.Error("out-of-range kind must have zero area")
+	}
+}
+
+func TestEmptyAreaString(t *testing.T) {
+	var a Area
+	if a.String() != "(empty)" {
+		t.Errorf("empty area string = %q", a.String())
+	}
+	a.Add(Nand2, 2)
+	if a.String() != "NAND2:2" {
+		t.Errorf("area string = %q, want NAND2:2", a.String())
+	}
+}

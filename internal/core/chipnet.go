@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gate"
+	"repro/internal/synth"
+)
+
+// ChipNetlist is a flattened gate-level model of the whole chip, used for
+// the sequential fault simulations behind Table 3's "Orig." and "HSCAN"
+// columns (the ones showing that a chip made of individually testable
+// cores is still nearly untestable without chip-level DFT).
+type ChipNetlist struct {
+	Netlist *gate.Netlist
+	// ScanEnable is the global scan-enable Input line when the netlist
+	// was built with scan circuitry, else -1.
+	ScanEnable int
+}
+
+// BuildChipNetlist flattens every core into one netlist, stitching the
+// chip nets: core input pins are driven by their net source (first driver
+// wins on a shared bus), chip PIs become Input gates, and chip POs are
+// marked on the driving lines. With withScan, each core's HSCAN chain
+// multiplexers are materialized, steered by one global scan-enable pin —
+// this is the configuration fault-simulated for the HSCAN-only column.
+func BuildChipNetlist(f *Flow, withScan bool) (*ChipNetlist, error) {
+	ch := f.Chip
+	out := &gate.Netlist{Name: ch.Name}
+	cn := &ChipNetlist{Netlist: out, ScanEnable: -1}
+
+	// Chip PI lines.
+	piLine := map[string][]int{}
+	for _, p := range ch.PIs {
+		lines := make([]int, p.Width)
+		for b := range lines {
+			lines[b] = out.AddNamed(fmt.Sprintf("%s[%d]", p.Name, b), gate.Input)
+		}
+		piLine[p.Name] = lines
+	}
+	if withScan {
+		cn.ScanEnable = out.AddNamed("scan_enable", gate.Input)
+	}
+
+	// Copy each core's netlist with an offset; remember per-core line
+	// mapping for port stitching.
+	type coreMap struct {
+		offset int
+		res    *synth.Result
+	}
+	maps := map[string]coreMap{}
+	for _, c := range ch.Cores {
+		art, ok := f.Cores[c.Name]
+		if !ok {
+			return nil, fmt.Errorf("core: %s not prepared", c.Name)
+		}
+		offset := len(out.Gates)
+		for _, g := range art.Synth.Netlist.Gates {
+			ng := gate.Gate{Type: g.Type, Name: c.Name + "/" + g.Name}
+			ng.Fanin = make([]int, len(g.Fanin))
+			for i, fi := range g.Fanin {
+				ng.Fanin[i] = fi + offset
+			}
+			out.Gates = append(out.Gates, ng)
+		}
+		maps[c.Name] = coreMap{offset: offset, res: art.Synth}
+	}
+
+	// lineOf resolves a core port bit to a chip-level line.
+	lineOf := func(coreName, port string, bit int) (int, error) {
+		m, ok := maps[coreName]
+		if !ok {
+			return 0, fmt.Errorf("core: unknown core %s", coreName)
+		}
+		id, ok := m.res.LineOf(port, "", bit)
+		if !ok {
+			return 0, fmt.Errorf("core: no line for %s.%s[%d]", coreName, port, bit)
+		}
+		return id + m.offset, nil
+	}
+
+	// Stitch nets: replace each sink core's Input gates with buffers from
+	// the driver lines.
+	driven := map[int]bool{}
+	for _, n := range ch.Nets {
+		var srcLines []int
+		var width int
+		if n.FromCore == "" {
+			srcLines = piLine[n.FromPort]
+			width = len(srcLines)
+		} else {
+			c, _ := ch.CoreByName(n.FromCore)
+			p, _ := c.RTL.PortByName(n.FromPort)
+			width = p.Width
+			for b := 0; b < width; b++ {
+				id, err := lineOf(n.FromCore, n.FromPort, b)
+				if err != nil {
+					return nil, err
+				}
+				srcLines = append(srcLines, id)
+			}
+		}
+		if n.ToCore == "" {
+			// Chip PO.
+			for b := 0; b < width; b++ {
+				out.MarkPO(srcLines[b], fmt.Sprintf("%s[%d]", n.ToPort, b))
+			}
+			continue
+		}
+		sink, _ := ch.CoreByName(n.ToCore)
+		sp, _ := sink.RTL.PortByName(n.ToPort)
+		w := sp.Width
+		if width < w {
+			w = width
+		}
+		for b := 0; b < w; b++ {
+			id, err := lineOf(n.ToCore, n.ToPort, b)
+			if err != nil {
+				return nil, err
+			}
+			if driven[id] {
+				continue // shared bus: first driver wins
+			}
+			driven[id] = true
+			out.Gates[id] = gate.Gate{Type: gate.Buf, Fanin: []int{srcLines[b]}, Name: out.Gates[id].Name}
+		}
+	}
+	// Dangling core inputs (no net): leave as Input gates — they behave
+	// as extra chip pins held by the tester.
+
+	// Scan circuitry: patch DFF fanins along each HSCAN edge.
+	if withScan {
+		for _, c := range ch.TestableCores() {
+			if c.Scan == nil {
+				continue
+			}
+			m := maps[c.Name]
+			for _, e := range c.Scan.Edges {
+				if e.ToPort {
+					continue // output taps need no state patch
+				}
+				if _, ok := c.RTL.RegByName(e.To); !ok {
+					continue
+				}
+				for i := 0; i <= e.Dst.Hi-e.Dst.Lo; i++ {
+					dstBit := e.Dst.Lo + i
+					dffLine, ok := m.res.LineOf(e.To, "q", dstBit)
+					if !ok {
+						continue
+					}
+					dffLine += m.offset
+					var srcLine int
+					if e.FromPort {
+						srcLine, ok = m.res.LineOf(e.From, "", e.Src.Lo+i)
+					} else {
+						srcLine, ok = m.res.LineOf(e.From, "q", e.Src.Lo+i)
+					}
+					if !ok {
+						continue
+					}
+					srcLine += m.offset
+					oldD := out.Gates[dffLine].Fanin[0]
+					mux := out.Add(gate.Mux, oldD, srcLine, cn.ScanEnable)
+					out.Gates[dffLine].Fanin[0] = mux
+				}
+			}
+		}
+	}
+
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return cn, nil
+}

@@ -1,0 +1,318 @@
+// Package core is the top-level SOCET flow, tying together everything the
+// paper describes: core-level DFT (HSCAN insertion and transparency
+// version generation, Sections 2-4), per-core combinational ATPG for the
+// precomputed test sets, and chip-level DFT (CCG construction, test path
+// scheduling, version selection support, controller generation, memory
+// BIST; Section 5). The experiment drivers in cmd/ and the benchmarks in
+// bench_test.go are thin wrappers over this package.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/atpg"
+	"repro/internal/bist"
+	"repro/internal/ccg"
+	"repro/internal/cell"
+	"repro/internal/ctrl"
+	"repro/internal/hscan"
+	"repro/internal/sched"
+	"repro/internal/soc"
+	"repro/internal/synth"
+	"repro/internal/trans"
+)
+
+// Options tunes the flow.
+type Options struct {
+	ATPG *atpg.Options
+	// VectorOverride, if non-nil, supplies fixed per-core vector counts
+	// instead of running ATPG (used by the worked-example benchmarks that
+	// reproduce Section 3's arithmetic with the paper's 105 vectors).
+	VectorOverride map[string]int
+}
+
+// Artifacts collects per-core flow products.
+type Artifacts struct {
+	Core     *soc.Core
+	Synth    *synth.Result
+	ATPG     *atpg.Result
+	BISTPlan *bist.Plan // memory cores only
+}
+
+// OrigCells returns the core's pre-DFT mapped area.
+func (a *Artifacts) OrigCells() int {
+	area := a.Synth.Netlist.Area()
+	return area.Cells()
+}
+
+// ForcedMux is a system-level test multiplexer placed by the design-space
+// explorer (Section 5.2's fallback when upgrading core versions becomes
+// costlier than a mux). Input muxes connect a PI to the core input; output
+// muxes route the core output to a PO.
+type ForcedMux struct {
+	Core  string
+	Port  string
+	Input bool
+}
+
+// Flow is a prepared SOCET flow over one chip.
+type Flow struct {
+	Chip  *soc.Chip
+	Cores map[string]*Artifacts
+	Opts  Options
+	// ForcedMuxes are applied to every CCG built by Evaluate.
+	ForcedMuxes []ForcedMux
+}
+
+// Prepare runs the core-level phase on every core: synthesis (area),
+// HSCAN insertion, transparency version ladder, and combinational ATPG
+// for the precomputed test set. Memory cores get synthesis plus a BIST
+// plan. Every testable core starts at its minimum-area version.
+func Prepare(ch *soc.Chip, opts *Options) (*Flow, error) {
+	if err := ch.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Flow{Chip: ch, Cores: map[string]*Artifacts{}}
+	if opts != nil {
+		f.Opts = *opts
+	}
+	for _, c := range ch.Cores {
+		art := &Artifacts{Core: c}
+		sr, err := synth.Synthesize(c.RTL)
+		if err != nil {
+			return nil, fmt.Errorf("core: synthesize %s: %w", c.Name, err)
+		}
+		art.Synth = sr
+		if c.Memory {
+			art.BISTPlan = bist.PlanMemory(c)
+			f.Cores[c.Name] = art
+			continue
+		}
+		scan, err := hscan.Insert(c.RTL)
+		if err != nil {
+			return nil, fmt.Errorf("core: hscan %s: %w", c.Name, err)
+		}
+		c.Scan = scan
+		g, err := trans.Build(c.RTL, scan)
+		if err != nil {
+			return nil, fmt.Errorf("core: rcg %s: %w", c.Name, err)
+		}
+		vs, err := trans.Versions(g)
+		if err != nil {
+			return nil, fmt.Errorf("core: versions %s: %w", c.Name, err)
+		}
+		c.Versions = vs
+		c.Selected = 0
+		if f.Opts.VectorOverride != nil {
+			if v, ok := f.Opts.VectorOverride[c.Name]; ok {
+				c.Vectors = v
+				f.Cores[c.Name] = art
+				continue
+			}
+		}
+		res, err := atpg.Generate(sr.Netlist, f.Opts.ATPG)
+		if err != nil {
+			return nil, fmt.Errorf("core: atpg %s: %w", c.Name, err)
+		}
+		art.ATPG = res
+		c.Vectors = res.Stats.Vectors
+		f.Cores[c.Name] = art
+	}
+	return f, nil
+}
+
+// Evaluation is one chip-level design point: the CCG, the schedule, the
+// controller, and the area/time bottom line for the current core version
+// selection.
+type Evaluation struct {
+	Graph      *ccg.Graph
+	Sched      *sched.Result
+	Controller *ctrl.Controller
+	BISTCycles int
+	// Interconnect is the explicit wire-test plan (an extension of the
+	// paper's claim that SOCET exercises the interconnect; its cycles are
+	// reported separately from the per-core TAT the paper tabulates).
+	Interconnect *sched.InterconnectResult
+
+	TransArea cell.Area // transparency logic of the selected versions
+	MuxArea   cell.Area // system-level test multiplexers
+	CtrlArea  cell.Area // test controller
+
+	TransCells int
+	MuxCells   int
+	CtrlCells  int
+	LogicTAT   int // sum of logic-core TATs
+	// TAT is the chip test application time for the logic cores — the
+	// quantity the paper's tables report ("we do not consider the memory
+	// cores in this discussion", Section 5; their BIST runs concurrently
+	// and is reported separately in BISTCycles).
+	TAT int
+}
+
+// ChipDFTCells is the chip-level SOCET overhead (Table 2, columns 6-7).
+func (e *Evaluation) ChipDFTCells() int {
+	return e.TransCells + e.MuxCells + e.CtrlCells
+}
+
+// ChipDFTGrids is the same overhead in grid area units (used for the
+// Table 2 percentage comparison, where cell *size* differences — e.g.
+// boundary-scan cells versus simple muxes — matter).
+func (e *Evaluation) ChipDFTGrids() int {
+	return e.TransArea.Grids() + e.MuxArea.Grids() + e.CtrlArea.Grids()
+}
+
+// Evaluate builds the CCG for the chip's current version selection and
+// schedules every core test.
+func (f *Flow) Evaluate() (*Evaluation, error) {
+	g, err := ccg.Build(f.Chip)
+	if err != nil {
+		return nil, err
+	}
+	var forcedArea cell.Area
+	for _, fm := range f.ForcedMuxes {
+		target, ok := g.NodeIndex(fm.Core + "." + fm.Port)
+		if !ok {
+			return nil, fmt.Errorf("core: forced mux on unknown port %s.%s", fm.Core, fm.Port)
+		}
+		c, _ := f.Chip.CoreByName(fm.Core)
+		width := 1
+		if p, ok := c.RTL.PortByName(fm.Port); ok {
+			width = p.Width
+		}
+		if fm.Input {
+			pi := g.PINodes()
+			if len(pi) > 0 {
+				g.AddTestMux(pi[0], target)
+			}
+		} else {
+			po := g.PONodes()
+			if len(po) > 0 {
+				g.AddTestMux(target, po[0])
+			}
+		}
+		forcedArea.Add(cell.Mux2, width)
+	}
+	s, err := sched.Schedule(f.Chip, g)
+	if err != nil {
+		return nil, err
+	}
+	if err := sched.Validate(s); err != nil {
+		return nil, fmt.Errorf("core: schedule failed replay validation: %w", err)
+	}
+	e := &Evaluation{Graph: g, Sched: s}
+	e.MuxArea = forcedArea
+	e.MuxArea.AddArea(s.MuxArea)
+	e.Controller = ctrl.Generate(f.Chip, s)
+	e.CtrlArea = e.Controller.Area
+	for _, c := range f.Chip.TestableCores() {
+		if v := c.Version(); v != nil {
+			e.TransArea.AddArea(v.Area)
+		}
+	}
+	e.TransCells = e.TransArea.Cells()
+	e.MuxCells = e.MuxArea.Cells()
+	e.CtrlCells = e.CtrlArea.Cells()
+	ir, err := sched.ScheduleInterconnect(f.Chip, g)
+	if err != nil {
+		return nil, err
+	}
+	e.Interconnect = ir
+	_, bistCycles, _ := bist.PlanChip(f.Chip)
+	e.BISTCycles = bistCycles
+	e.LogicTAT = s.TotalTAT
+	e.TAT = s.TotalTAT
+	return e, nil
+}
+
+// SelectVersions applies a version index per core (missing cores keep
+// their selection). Out-of-range indices are clamped.
+func (f *Flow) SelectVersions(sel map[string]int) {
+	for _, c := range f.Chip.TestableCores() {
+		if idx, ok := sel[c.Name]; ok {
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(c.Versions) {
+				idx = len(c.Versions) - 1
+			}
+			c.Selected = idx
+		}
+	}
+}
+
+// HSCANCells returns the total HSCAN insertion cost over testable cores
+// (Table 2, column 4).
+func (f *Flow) HSCANCells() int {
+	n := 0
+	for _, c := range f.Chip.TestableCores() {
+		if c.Scan != nil {
+			a := c.Scan.Area
+			n += a.Cells()
+		}
+	}
+	return n
+}
+
+// HSCANGrids returns the HSCAN insertion cost in grid units.
+func (f *Flow) HSCANGrids() int {
+	n := 0
+	for _, c := range f.Chip.TestableCores() {
+		if c.Scan != nil {
+			a := c.Scan.Area
+			n += a.Grids()
+		}
+	}
+	return n
+}
+
+// OrigGrids returns the chip's pre-DFT grid area over testable cores.
+func (f *Flow) OrigGrids() int {
+	n := 0
+	for _, c := range f.Chip.TestableCores() {
+		if art, ok := f.Cores[c.Name]; ok {
+			a := art.Synth.Netlist.Area()
+			n += a.Grids()
+		}
+	}
+	return n
+}
+
+// OrigCells returns the chip's pre-DFT area over testable cores (Table 2,
+// column 2).
+func (f *Flow) OrigCells() int {
+	n := 0
+	for _, c := range f.Chip.TestableCores() {
+		if art, ok := f.Cores[c.Name]; ok {
+			n += art.OrigCells()
+		}
+	}
+	return n
+}
+
+// AggregateTestStats sums the per-core ATPG statistics; under both
+// FSCAN-BSCAN and SOCET the full precomputed test set of each core is
+// applied losslessly, so the chip-level fault coverage equals this
+// aggregate (Table 3's matching FC columns).
+func (f *Flow) AggregateTestStats() atpg.Stats {
+	var s atpg.Stats
+	for _, c := range f.Chip.TestableCores() {
+		art, ok := f.Cores[c.Name]
+		if !ok || art.ATPG == nil {
+			continue
+		}
+		s.Faults += art.ATPG.Stats.Faults
+		s.Detected += art.ATPG.Stats.Detected
+		s.Untestable += art.ATPG.Stats.Untestable
+		s.Aborted += art.ATPG.Stats.Aborted
+		s.Vectors += art.ATPG.Stats.Vectors
+	}
+	return s
+}
+
+// Percent formats part/whole as a percentage.
+func Percent(part, whole int) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}

@@ -1,0 +1,75 @@
+package ctrl
+
+import (
+	"fmt"
+
+	"repro/internal/rtl"
+	"repro/internal/soc"
+)
+
+// BuildRTL emits the test controller as a synthesizable RTL core: a state
+// counter stepping through one state per tested core (plus idle/done), a
+// state decoder, and one registered control line per signal. The core can
+// be run through internal/synth to cross-check the Area estimate, and
+// through internal/rtlsim to watch the control sequence.
+//
+// Interface:
+//
+//	TestMode (in, 1)  — 1 starts/continues the test session
+//	StepDone (in, 1)  — pulsed by the tester when the current core's
+//	                    schedule completes (state advances)
+//	State    (out, n) — current FSM state (observable for debug)
+//	Ctl      (out, m) — one bit per control signal, asserted in the state
+//	                    whose core the signal belongs to
+func BuildRTL(ch *soc.Chip, c *Controller) (*rtl.Core, error) {
+	cores := ch.TestableCores()
+	states := c.States
+	sb := bits(states)
+	m := len(c.Signals)
+	if m == 0 {
+		return nil, fmt.Errorf("ctrl: controller has no signals")
+	}
+	if m > 64 || sb > 16 {
+		return nil, fmt.Errorf("ctrl: controller too wide to emit (%d signals, %d state bits)", m, sb)
+	}
+
+	b := rtl.NewCore("testctl").
+		CtlIn("TestMode", 1).
+		CtlIn("StepDone", 1).
+		Out("State", sb).
+		Out("Ctl", m).
+		Reg("STATE", sb).
+		RegLd("CTL", m).
+		Mux("MST", sb, 2). // hold vs advance
+		Unit(rtl.Unit{Name: "incst", Op: rtl.OpInc, Width: sb}).
+		Unit(rtl.Unit{Name: "adv", Op: rtl.OpAnd, Width: 1}).
+		// Decoder from state to per-signal enables.
+		Unit(rtl.Unit{Name: "dec", Op: rtl.OpDecode, Width: sb})
+
+	b.Wire("STATE.q", "incst.in0").
+		Wire("STATE.q", "MST.in0").
+		Wire("incst.out", "MST.in1").
+		Wire("TestMode", "adv.in0").
+		Wire("StepDone", "adv.in1").
+		Wire("adv.out", "MST.sel").
+		Wire("MST.out", "STATE.d").
+		Wire("STATE.q", "State").
+		Wire("STATE.q", "dec.in0").
+		Wire("TestMode", "CTL.ld").
+		Wire("CTL.q", "Ctl")
+
+	// Map each signal to the state of its core: state k+1 tests cores[k]
+	// (state 0 is idle, the last state is done).
+	stateOf := map[string]int{}
+	for i, core := range cores {
+		stateOf[core.Name] = i + 1
+	}
+	for i, sig := range c.Signals {
+		st, ok := stateOf[sig.Core]
+		if !ok {
+			st = 0
+		}
+		b.Wire(fmt.Sprintf("dec.out[%d]", st), fmt.Sprintf("CTL.d[%d]", i))
+	}
+	return b.Build()
+}

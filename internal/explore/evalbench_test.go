@@ -1,0 +1,13 @@
+package explore
+
+import "testing"
+
+func BenchmarkEvaluate(b *testing.B) {
+	f := flow(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Evaluate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

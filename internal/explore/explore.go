@@ -1,0 +1,436 @@
+// Package explore implements the chip-level design-space exploration of
+// Section 5: exhaustive enumeration of core-version combinations (the 18
+// design points of Figure 10 and Table 1) and the iterative-improvement
+// selector of Section 5.2, which replaces one core at a time with its next
+// more expensive version using the cost function
+//
+//	C = w1 × ΔTAT + w2 × ΔA
+//
+// and degenerates to system-level test multiplexers when a mux becomes
+// cheaper than any remaining version upgrade.
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ccg"
+	"repro/internal/core"
+	"repro/internal/soc"
+)
+
+// Point is one evaluated design point.
+type Point struct {
+	Selection map[string]int // core -> version index
+	ChipCells int            // chip-level DFT overhead (trans + mux + ctrl)
+	TAT       int
+	Eval      *core.Evaluation
+}
+
+// Label formats the selection compactly (e.g. "CPU:1 DISPLAY:3 ...").
+func (p Point) Label() string {
+	var names []string
+	for n := range p.Selection {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := ""
+	for _, n := range names {
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("%s:V%d", n, p.Selection[n]+1)
+	}
+	return s
+}
+
+// Enumerate evaluates every combination of core versions, returning the
+// points sorted by chip overhead then TAT (the x-axis ordering of
+// Figure 10).
+func Enumerate(f *core.Flow) ([]Point, error) {
+	cores := f.Chip.TestableCores()
+	var points []Point
+	sel := map[string]int{}
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(cores) {
+			chosen := map[string]int{}
+			for k, v := range sel {
+				chosen[k] = v
+			}
+			f.SelectVersions(chosen)
+			e, err := f.Evaluate()
+			if err != nil {
+				return err
+			}
+			points = append(points, Point{
+				Selection: chosen,
+				ChipCells: e.ChipDFTCells(),
+				TAT:       e.TAT,
+				Eval:      e,
+			})
+			return nil
+		}
+		c := cores[i]
+		for v := 0; v < len(c.Versions); v++ {
+			sel[c.Name] = v
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].ChipCells != points[j].ChipCells {
+			return points[i].ChipCells < points[j].ChipCells
+		}
+		return points[i].TAT < points[j].TAT
+	})
+	return points, nil
+}
+
+// Pareto filters points to the non-dominated area/TAT front.
+func Pareto(points []Point) []Point {
+	var out []Point
+	best := int(^uint(0) >> 1)
+	for _, p := range points { // already sorted by area asc
+		if p.TAT < best {
+			best = p.TAT
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// MinTATPoint returns the point with the smallest TAT (ties: smaller
+// area). This is Table 1's design point 17 — not necessarily the
+// all-minimum-latency configuration.
+func MinTATPoint(points []Point) Point {
+	best := points[0]
+	for _, p := range points[1:] {
+		if p.TAT < best.TAT || (p.TAT == best.TAT && p.ChipCells < best.ChipCells) {
+			best = p
+		}
+	}
+	return best
+}
+
+// Objective selects which constraint drives the iterative improvement.
+type Objective int
+
+// Objectives (i) and (ii) of Section 5.
+const (
+	MinimizeTAT  Objective = iota // area budget given
+	MinimizeArea                  // TAT budget given
+)
+
+// Step is one accepted move of the iterative improvement.
+type Step struct {
+	Core      string // upgraded core ("" for a test-mux insertion)
+	Version   int    // new version index
+	MuxOn     string // "CORE.port" when a test mux was placed
+	DeltaTAT  int
+	DeltaArea int
+	TAT       int
+	ChipCells int
+}
+
+// Result is the outcome of Improve.
+type Result struct {
+	Steps     []Step
+	Final     *core.Evaluation
+	Selection map[string]int
+}
+
+// muxFallbackCells is the cost threshold of Section 5.2: once every
+// remaining version upgrade costs more than a system-level test mux, the
+// mux wins.
+func muxFallbackCells(f *core.Flow, coreName string) int {
+	c, ok := f.Chip.CoreByName(coreName)
+	if !ok {
+		return 8
+	}
+	w := 0
+	for _, p := range c.RTL.Inputs() {
+		if p.Width > w {
+			w = p.Width
+		}
+	}
+	if w == 0 {
+		w = 8
+	}
+	return w
+}
+
+// Cost is the paper's replacement cost function C = w1·ΔTAT + w2·ΔA
+// (Section 5.2). The two objectives correspond to (w1=1, w2=0) and
+// (w1=0, w2=1); arbitrary weights let a user bias the walk anywhere in
+// between.
+type Cost struct {
+	W1, W2 float64
+}
+
+// Eval scores a candidate replacement.
+func (c Cost) Eval(deltaTAT, deltaArea int) float64 {
+	return c.W1*float64(deltaTAT) + c.W2*float64(deltaArea)
+}
+
+// Candidates lists each core's next-version replacement with its
+// estimated ΔTAT, its ΔA, and the weighted cost — the raw material of the
+// Section 5.2 loop, exposed for callers that drive their own policy.
+func Candidates(f *core.Flow, e *core.Evaluation, cost Cost) []Step {
+	var out []Step
+	for _, c := range f.Chip.TestableCores() {
+		if c.Selected+1 >= len(c.Versions) {
+			continue
+		}
+		dTAT := estimateDeltaTAT(f, e, c)
+		cur := c.Versions[c.Selected].Area
+		next := c.Versions[c.Selected+1].Area
+		out = append(out, Step{
+			Core:      c.Name,
+			Version:   c.Selected + 1,
+			DeltaTAT:  dTAT,
+			DeltaArea: next.Cells() - cur.Cells(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return cost.Eval(out[i].DeltaTAT, out[i].DeltaArea) > cost.Eval(out[j].DeltaTAT, out[j].DeltaArea)
+	})
+	return out
+}
+
+// Improve runs the iterative improvement from the current selection.
+// For MinimizeTAT, budget is the maximum chip-level DFT overhead in
+// cells; for MinimizeArea, budget is the maximum TAT in cycles.
+func Improve(f *core.Flow, obj Objective, budget int) (*Result, error) {
+	e, err := f.Evaluate()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Final: e}
+	for iter := 0; iter < 64; iter++ {
+		if obj == MinimizeArea && e.TAT <= budget {
+			break // TAT constraint met
+		}
+		type cand struct {
+			core      string
+			version   int
+			deltaTAT  int
+			deltaArea int
+			eval      *core.Evaluation
+		}
+		var cands []cand
+		for _, c := range f.Chip.TestableCores() {
+			if c.Selected+1 >= len(c.Versions) {
+				continue
+			}
+			dTAT := estimateDeltaTAT(f, e, c)
+			cur := c.Versions[c.Selected].Area
+			next := c.Versions[c.Selected+1].Area
+			cands = append(cands, cand{
+				core:      c.Name,
+				version:   c.Selected + 1,
+				deltaTAT:  dTAT,
+				deltaArea: next.Cells() - cur.Cells(),
+			})
+		}
+		var pick *cand
+		switch obj {
+		case MinimizeTAT:
+			// w1=1, w2=0: take the largest TAT improvement whose area
+			// still fits the budget.
+			for i := range cands {
+				c := &cands[i]
+				if e.ChipDFTCells()+c.deltaArea > budget {
+					continue
+				}
+				if pick == nil || c.deltaTAT > pick.deltaTAT {
+					pick = c
+				}
+			}
+		case MinimizeArea:
+			// w1=0, w2=1: cheapest upgrade that still improves TAT.
+			for i := range cands {
+				c := &cands[i]
+				if c.deltaTAT <= 0 {
+					continue
+				}
+				if pick == nil || c.deltaArea < pick.deltaArea {
+					pick = c
+				}
+			}
+		}
+		// Section 5.2 fallback: when the best upgrade is pricier than a
+		// system-level test mux (or nothing is left), mux the most
+		// critical input of the core dominating the TAT.
+		if pick == nil || (pick.deltaTAT > 0 && pick.deltaArea > muxFallbackCells(f, pick.core)) {
+			step, ok, err := placeCriticalMux(f, e)
+			if err != nil {
+				return nil, err
+			}
+			if !ok && pick == nil {
+				break // nothing left to do
+			}
+			if ok {
+				e2, err := f.Evaluate()
+				if err != nil {
+					return nil, err
+				}
+				if e2.TAT >= e.TAT && pick != nil {
+					// Mux did not help; fall through to the upgrade.
+					f.ForcedMuxes = f.ForcedMuxes[:len(f.ForcedMuxes)-1]
+				} else {
+					step.TAT = e2.TAT
+					step.ChipCells = e2.ChipDFTCells()
+					if obj == MinimizeTAT && step.ChipCells > budget {
+						f.ForcedMuxes = f.ForcedMuxes[:len(f.ForcedMuxes)-1]
+						break
+					}
+					res.Steps = append(res.Steps, step)
+					e = e2
+					res.Final = e
+					continue
+				}
+			}
+		}
+		if pick == nil {
+			break
+		}
+		f.SelectVersions(map[string]int{pick.core: pick.version})
+		e2, err := f.Evaluate()
+		if err != nil {
+			return nil, err
+		}
+		if obj == MinimizeTAT && e2.ChipDFTCells() > budget {
+			// Undo and stop: the budget is exhausted.
+			f.SelectVersions(map[string]int{pick.core: pick.version - 1})
+			break
+		}
+		res.Steps = append(res.Steps, Step{
+			Core:      pick.core,
+			Version:   pick.version,
+			DeltaTAT:  e.TAT - e2.TAT,
+			DeltaArea: pick.deltaArea,
+			TAT:       e2.TAT,
+			ChipCells: e2.ChipDFTCells(),
+		})
+		e = e2
+		res.Final = e
+	}
+	res.Selection = map[string]int{}
+	for _, c := range f.Chip.TestableCores() {
+		res.Selection[c.Name] = c.Selected
+	}
+	res.Final = e
+	return res, nil
+}
+
+// estimateDeltaTAT applies the paper's latency-number heuristic: count how
+// often each transparency edge of the core is used in the current
+// schedule, weight by the edge latency, and compare against the next
+// version's latency for the same input/output pair.
+func estimateDeltaTAT(f *core.Flow, e *core.Evaluation, c *soc.Core) int {
+	curLat := pairLatencies(c, c.Selected)
+	nextLat := pairLatencies(c, c.Selected+1)
+	usage := map[[2]string]int{}
+	countPath := func(p []ccg.Step) {
+		for _, s := range p {
+			if s.Edge.Kind != ccg.Trans {
+				continue
+			}
+			from := e.Graph.Nodes[s.Edge.From]
+			to := e.Graph.Nodes[s.Edge.To]
+			if from.Core != c.Name {
+				continue
+			}
+			usage[[2]string{from.Port, to.Port}]++
+		}
+	}
+	for _, cs := range e.Sched.Cores {
+		for _, in := range cs.Inputs {
+			if in.Path != nil {
+				countPath(in.Path.Steps)
+			}
+		}
+		for _, out := range cs.Outputs {
+			if out.Path != nil {
+				countPath(out.Path.Steps)
+			}
+		}
+	}
+	delta := 0
+	for pair, n := range usage {
+		cur, ok1 := curLat[pair]
+		next, ok2 := nextLat[pair]
+		if !ok1 {
+			continue
+		}
+		if !ok2 {
+			next = 1 // upgraded versions only get faster
+		}
+		delta += n * (cur - next)
+	}
+	return delta
+}
+
+func pairLatencies(c *soc.Core, idx int) map[[2]string]int {
+	out := map[[2]string]int{}
+	if idx < 0 || idx >= len(c.Versions) {
+		return out
+	}
+	v := c.Versions[idx]
+	for _, p := range v.JustPairs() {
+		key := [2]string{p.In, p.Out}
+		if cur, ok := out[key]; !ok || p.Latency < cur {
+			out[key] = p.Latency
+		}
+	}
+	for _, p := range v.PropPairs() {
+		key := [2]string{p.In, p.Out}
+		if cur, ok := out[key]; !ok || p.Latency < cur {
+			out[key] = p.Latency
+		}
+	}
+	return out
+}
+
+// placeCriticalMux adds a forced test mux on the most critical input of
+// the core contributing the most to the global TAT.
+func placeCriticalMux(f *core.Flow, e *core.Evaluation) (Step, bool, error) {
+	var worst *struct {
+		core string
+		port string
+	}
+	worstTAT, worstArr := -1, -1
+	for _, cs := range e.Sched.Cores {
+		if cs.TAT < worstTAT {
+			continue
+		}
+		for _, in := range cs.Inputs {
+			if in.AddedMux {
+				continue // already muxed
+			}
+			if cs.TAT > worstTAT || in.Arrival > worstArr {
+				worstTAT, worstArr = cs.TAT, in.Arrival
+				worst = &struct {
+					core string
+					port string
+				}{cs.Core, in.Port}
+			}
+		}
+	}
+	if worst == nil || worstArr <= 1 {
+		return Step{}, false, nil
+	}
+	for _, fm := range f.ForcedMuxes {
+		if fm.Core == worst.core && fm.Port == worst.port {
+			return Step{}, false, nil // already placed
+		}
+	}
+	f.ForcedMuxes = append(f.ForcedMuxes, core.ForcedMux{Core: worst.core, Port: worst.port, Input: true})
+	return Step{MuxOn: worst.core + "." + worst.port}, true, nil
+}

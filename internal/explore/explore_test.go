@@ -1,0 +1,215 @@
+package explore
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/systems"
+)
+
+// The flow is expensive (full ATPG); share one across the test binary and
+// reset the selection in each test.
+var shared *core.Flow
+
+func flow(t testing.TB) *core.Flow {
+	t.Helper()
+	if shared == nil {
+		f, err := core.Prepare(systems.System1(), nil)
+		if err != nil {
+			t.Fatalf("Prepare: %v", err)
+		}
+		shared = f
+	}
+	reset(shared)
+	return shared
+}
+
+func reset(f *core.Flow) {
+	sel := map[string]int{}
+	for _, c := range f.Chip.TestableCores() {
+		sel[c.Name] = 0
+	}
+	f.SelectVersions(sel)
+	f.ForcedMuxes = nil
+}
+
+func TestEnumerateDesignSpace(t *testing.T) {
+	f := flow(t)
+	points, err := Enumerate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1
+	for _, c := range f.Chip.TestableCores() {
+		want *= len(c.Versions)
+	}
+	if len(points) != want {
+		t.Fatalf("enumerated %d points, want %d", len(points), want)
+	}
+	// Figure 10's qualitative shape: the cheapest point is the slowest,
+	// and some more expensive point is much faster.
+	first, last := points[0], points[len(points)-1]
+	if first.ChipCells > last.ChipCells {
+		t.Error("points not sorted by area")
+	}
+	minTAT := MinTATPoint(points)
+	if minTAT.TAT >= first.TAT {
+		t.Errorf("min TAT %d should beat the min-area point's TAT %d", minTAT.TAT, first.TAT)
+	}
+	// The paper reports ~4.5x between design points 1 and 18; demand at
+	// least 2x on our substrate.
+	if first.TAT < 2*minTAT.TAT {
+		t.Errorf("TAT range too flat: min-area %d vs min-TAT %d", first.TAT, minTAT.TAT)
+	}
+}
+
+func TestParetoFrontMonotone(t *testing.T) {
+	f := flow(t)
+	points, err := Enumerate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := Pareto(points)
+	if len(front) < 2 {
+		t.Fatalf("Pareto front has %d points", len(front))
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].TAT >= front[i-1].TAT {
+			t.Errorf("front not strictly improving: %d then %d", front[i-1].TAT, front[i].TAT)
+		}
+		if front[i].ChipCells < front[i-1].ChipCells {
+			t.Errorf("front not sorted by area")
+		}
+	}
+}
+
+// Table 1's headline effect: the all-minimum-latency configuration is not
+// necessarily the minimum-TAT configuration (design point 17 vs 18).
+func TestMinLatencyNotAlwaysMinTAT(t *testing.T) {
+	f := flow(t)
+	points, err := Enumerate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minTAT := MinTATPoint(points)
+	var allFast Point
+	found := false
+	for _, p := range points {
+		fast := true
+		for _, c := range f.Chip.TestableCores() {
+			if p.Selection[c.Name] != len(c.Versions)-1 {
+				fast = false
+			}
+		}
+		if fast {
+			allFast = p
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("all-minimum-latency point missing")
+	}
+	if minTAT.TAT > allFast.TAT {
+		t.Errorf("MinTATPoint %d worse than all-fast %d", minTAT.TAT, allFast.TAT)
+	}
+	t.Logf("min-TAT point %s TAT=%d vs all-fast %s TAT=%d",
+		minTAT.Label(), minTAT.TAT, allFast.Label(), allFast.TAT)
+}
+
+func TestImproveMinimizeTAT(t *testing.T) {
+	f := flow(t)
+	e0, err := f.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Improve(f, MinimizeTAT, e0.ChipDFTCells()+200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.TAT >= e0.TAT {
+		t.Errorf("improvement did not reduce TAT: %d -> %d", e0.TAT, res.Final.TAT)
+	}
+	if res.Final.ChipDFTCells() > e0.ChipDFTCells()+200 {
+		t.Errorf("area budget violated: %d > %d", res.Final.ChipDFTCells(), e0.ChipDFTCells()+200)
+	}
+	if len(res.Steps) == 0 {
+		t.Error("no improvement steps recorded")
+	}
+}
+
+func TestImproveMinimizeArea(t *testing.T) {
+	f := flow(t)
+	e0, err := f.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ask for a TAT halfway between min-area and zero: the selector should
+	// meet it with a modest area increase.
+	target := e0.TAT * 2 / 3
+	res, err := Improve(f, MinimizeArea, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.TAT > target {
+		t.Errorf("TAT target missed: %d > %d", res.Final.TAT, target)
+	}
+	// Every step should have been productive.
+	for _, s := range res.Steps {
+		if s.Core != "" && s.DeltaTAT < 0 {
+			t.Errorf("step %+v increased TAT", s)
+		}
+	}
+}
+
+func TestTightBudgetKeepsMinArea(t *testing.T) {
+	f := flow(t)
+	e0, err := f.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Improve(f, MinimizeTAT, e0.ChipDFTCells())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.ChipDFTCells() > e0.ChipDFTCells() {
+		t.Errorf("zero headroom budget exceeded: %d > %d", res.Final.ChipDFTCells(), e0.ChipDFTCells())
+	}
+}
+
+func TestCandidatesCostOrdering(t *testing.T) {
+	f := flow(t)
+	e, err := f.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Objective (i) weighting: sorted by TAT improvement.
+	byTAT := Candidates(f, e, Cost{W1: 1, W2: 0})
+	for i := 1; i < len(byTAT); i++ {
+		if byTAT[i].DeltaTAT > byTAT[i-1].DeltaTAT {
+			t.Errorf("w1=1 ordering broken at %d", i)
+		}
+	}
+	// Objective (ii) weighting: sorted by (negated) area growth — the
+	// cheapest upgrade scores highest under C = -ΔA... the paper picks the
+	// *minimum* C with positive ΔTAT; with W2=-1 the sort surfaces it.
+	byArea := Candidates(f, e, Cost{W1: 0, W2: -1})
+	for i := 1; i < len(byArea); i++ {
+		if byArea[i].DeltaArea < byArea[i-1].DeltaArea {
+			t.Errorf("area ordering broken at %d", i)
+		}
+	}
+	if len(byTAT) == 0 {
+		t.Fatal("no candidates at the min-area selection")
+	}
+	// The estimate must see the biggest win where the schedule leans
+	// hardest; flipping that core really reduces TAT.
+	pick := byTAT[0]
+	f.SelectVersions(map[string]int{pick.Core: pick.Version})
+	e2, err := f.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pick.DeltaTAT > 0 && e2.TAT >= e.TAT {
+		t.Errorf("estimated ΔTAT %d for %s but actual TAT %d -> %d", pick.DeltaTAT, pick.Core, e.TAT, e2.TAT)
+	}
+}

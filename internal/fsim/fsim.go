@@ -1,0 +1,516 @@
+// Package fsim performs single-stuck-at fault simulation on gate-level
+// netlists: combinational (full-scan, parallel-pattern serial-fault with
+// fault dropping and fanout-cone-limited evaluation) and sequential
+// (parallel-fault, time-frame) modes. It supplies the fault coverage and
+// test efficiency numbers of the paper's Table 3.
+package fsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/gate"
+)
+
+// multiSim evaluates a netlist with any number of faults injected, each in
+// its own set of pattern lanes (used by the sequential mode).
+type multiSim struct {
+	n      *gate.Netlist
+	order  []int
+	val    []uint64
+	force0 []uint64 // stem stuck-at-0 masks per line
+	force1 []uint64 // stem stuck-at-1 masks per line
+	// victimAt[g] lists branch forces seen only by gate g.
+	victimAt   [][]branchForce
+	victimList []int
+	hasVictims bool
+}
+
+type branchForce struct {
+	branch int
+	mask   uint64
+	stuck  byte
+}
+
+func newMultiSim(n *gate.Netlist) (*multiSim, error) {
+	order, err := n.Order()
+	if err != nil {
+		return nil, err
+	}
+	s := &multiSim{
+		n:        n,
+		order:    order,
+		val:      make([]uint64, len(n.Gates)),
+		force0:   make([]uint64, len(n.Gates)),
+		force1:   make([]uint64, len(n.Gates)),
+		victimAt: make([][]branchForce, len(n.Gates)),
+	}
+	for i, g := range n.Gates {
+		switch g.Type {
+		case gate.Const0:
+			s.val[i] = 0
+		case gate.Const1:
+			s.val[i] = ^uint64(0)
+		}
+	}
+	return s, nil
+}
+
+// inject adds fault f active in the lanes of mask.
+func (s *multiSim) inject(f gate.Fault, mask uint64) {
+	if f.Branch < 0 {
+		if f.Stuck == 0 {
+			s.force0[f.Line] |= mask
+		} else {
+			s.force1[f.Line] |= mask
+		}
+		return
+	}
+	if len(s.victimAt[f.Line]) == 0 {
+		s.victimList = append(s.victimList, f.Line)
+	}
+	s.victimAt[f.Line] = append(s.victimAt[f.Line], branchForce{f.Branch, mask, f.Stuck})
+	s.hasVictims = true
+}
+
+func (s *multiSim) forceWord(id int, v uint64) uint64 {
+	return (v &^ s.force0[id]) | s.force1[id]
+}
+
+func (s *multiSim) evalGate(id int) uint64 {
+	g := &s.n.Gates[id]
+	var a, b, c uint64
+	switch len(g.Fanin) {
+	case 3:
+		c = s.faninView(id, 2, g.Fanin[2])
+		fallthrough
+	case 2:
+		b = s.faninView(id, 1, g.Fanin[1])
+		fallthrough
+	case 1:
+		a = s.faninView(id, 0, g.Fanin[0])
+	}
+	switch g.Type {
+	case gate.Buf:
+		return a
+	case gate.Inv:
+		return ^a
+	case gate.And:
+		return a & b
+	case gate.Or:
+		return a | b
+	case gate.Nand:
+		return ^(a & b)
+	case gate.Nor:
+		return ^(a | b)
+	case gate.Xor:
+		return a ^ b
+	case gate.Xnor:
+		return ^(a ^ b)
+	case gate.Mux:
+		return (a &^ c) | (b & c)
+	case gate.Const0:
+		return 0
+	case gate.Const1:
+		return ^uint64(0)
+	default:
+		return s.val[id]
+	}
+}
+
+// faninView returns the value of a fanin line as seen by gate id,
+// including branch-fault corruption.
+func (s *multiSim) faninView(id, branch, line int) uint64 {
+	v := s.val[line]
+	if !s.hasVictims {
+		return v
+	}
+	for _, bf := range s.victimAt[id] {
+		if bf.branch != branch {
+			continue
+		}
+		if bf.stuck == 0 {
+			v &^= bf.mask
+		} else {
+			v |= bf.mask
+		}
+	}
+	return v
+}
+
+// eval runs one combinational pass with all injections active.
+func (s *multiSim) eval() {
+	for _, id := range s.order {
+		s.val[id] = s.forceWord(id, s.evalGate(id))
+	}
+}
+
+// forceState applies stem forces to PI and DFF lines.
+func (s *multiSim) forceState() {
+	for _, pi := range s.n.PIs() {
+		s.val[pi] = s.forceWord(pi, s.val[pi])
+	}
+	for _, d := range s.n.DFFs() {
+		s.val[d] = s.forceWord(d, s.val[d])
+	}
+}
+
+// captureWord computes the next-state word a DFF would latch.
+func (s *multiSim) captureWord(d int) uint64 {
+	return s.faninView(d, 0, s.n.Gates[d].Fanin[0])
+}
+
+// Result summarizes a fault simulation run.
+type Result struct {
+	Total    int
+	Detected int
+	// DetectedBy[i] is the index of the first pattern (combinational) or
+	// cycle (sequential) that detects fault i, or -1.
+	DetectedBy []int
+}
+
+// Coverage returns detected/total as a percentage.
+func (r *Result) Coverage() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return 100 * float64(r.Detected) / float64(r.Total)
+}
+
+// coneSim holds the cone-limited serial-fault evaluator state shared
+// across faults within one pattern batch.
+type coneSim struct {
+	n       *gate.Netlist
+	order   []int
+	topoPos []int
+	fanouts [][]int
+	isObs   []bool // POs and DFF data inputs
+	good    []uint64
+	fv      []uint64
+	epoch   []uint32
+	curEp   uint32
+	cones   map[int][]int // root line -> cone in topological order
+}
+
+func newConeSim(n *gate.Netlist) (*coneSim, error) {
+	order, err := n.Order()
+	if err != nil {
+		return nil, err
+	}
+	cs := &coneSim{
+		n:       n,
+		order:   order,
+		topoPos: make([]int, len(n.Gates)),
+		fanouts: n.Fanouts(),
+		isObs:   make([]bool, len(n.Gates)),
+		fv:      make([]uint64, len(n.Gates)),
+		epoch:   make([]uint32, len(n.Gates)),
+		cones:   make(map[int][]int),
+	}
+	for i := range cs.topoPos {
+		cs.topoPos[i] = -1
+	}
+	for pos, id := range order {
+		cs.topoPos[id] = pos
+	}
+	for _, po := range n.POs {
+		cs.isObs[po] = true
+	}
+	for _, d := range n.DFFs() {
+		cs.isObs[n.Gates[d].Fanin[0]] = true
+	}
+	return cs, nil
+}
+
+// cone returns the forward cone of root (root first, then topologically
+// ordered combinational successors). Propagation stops at DFFs: their
+// corrupted data input is already an observation point.
+func (cs *coneSim) cone(root int) []int {
+	if c, ok := cs.cones[root]; ok {
+		return c
+	}
+	seen := map[int]bool{root: true}
+	stack := []int{root}
+	var members []int
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		members = append(members, id)
+		for _, fo := range cs.fanouts[id] {
+			if seen[fo] || cs.n.Gates[fo].Type == gate.DFF {
+				continue
+			}
+			seen[fo] = true
+			stack = append(stack, fo)
+		}
+	}
+	// Topological order (root may be a source with pos -1; keep it first).
+	rest := members[1:]
+	sort.Slice(rest, func(i, j int) bool { return cs.topoPos[rest[i]] < cs.topoPos[rest[j]] })
+	cs.cones[root] = members
+	return members
+}
+
+// value reads the faulty value of a line under the current epoch.
+func (cs *coneSim) value(line int) uint64 {
+	if cs.epoch[line] == cs.curEp {
+		return cs.fv[line]
+	}
+	return cs.good[line]
+}
+
+func (cs *coneSim) set(line int, v uint64) {
+	cs.fv[line] = v
+	cs.epoch[line] = cs.curEp
+}
+
+// evalFaulty evaluates one gate using faulty-aware fanin values.
+func (cs *coneSim) evalFaulty(id int) uint64 {
+	g := &cs.n.Gates[id]
+	var a, b, c uint64
+	switch len(g.Fanin) {
+	case 3:
+		c = cs.value(g.Fanin[2])
+		fallthrough
+	case 2:
+		b = cs.value(g.Fanin[1])
+		fallthrough
+	case 1:
+		a = cs.value(g.Fanin[0])
+	}
+	switch g.Type {
+	case gate.Buf:
+		return a
+	case gate.Inv:
+		return ^a
+	case gate.And:
+		return a & b
+	case gate.Or:
+		return a | b
+	case gate.Nand:
+		return ^(a & b)
+	case gate.Nor:
+		return ^(a | b)
+	case gate.Xor:
+		return a ^ b
+	case gate.Xnor:
+		return ^(a ^ b)
+	case gate.Mux:
+		return (a &^ c) | (b & c)
+	default:
+		return cs.good[id]
+	}
+}
+
+func force(v uint64, stuck byte) uint64 {
+	if stuck == 0 {
+		return 0
+	}
+	_ = v
+	return ^uint64(0)
+}
+
+// simulate evaluates fault f against the current good values, returning
+// the lanes in which it is detected.
+func (cs *coneSim) simulate(f gate.Fault) uint64 {
+	cs.curEp++
+	var root int
+	var diff uint64
+	if f.Branch < 0 {
+		root = f.Line
+		faulty := force(cs.good[root], f.Stuck)
+		if faulty == cs.good[root] {
+			return 0 // never excited in any lane? (only when good is constant)
+		}
+		cs.set(root, faulty)
+	} else {
+		// Branch fault: the victim gate sees a corrupted fanin.
+		root = f.Line
+		if cs.n.Gates[root].Type == gate.DFF {
+			// Corrupted scan capture, observed directly.
+			goodCap := cs.good[cs.n.Gates[root].Fanin[0]]
+			return goodCap ^ force(goodCap, f.Stuck)
+		}
+		g := &cs.n.Gates[root]
+		fan := g.Fanin[f.Branch]
+		saved := cs.good[fan]
+		cs.good[fan] = force(saved, f.Stuck)
+		v := cs.evalFaulty(root)
+		cs.good[fan] = saved
+		if v == cs.good[root] {
+			return 0
+		}
+		cs.set(root, v)
+	}
+	members := cs.cone(root)
+	if cs.isObs[root] {
+		diff |= cs.value(root) ^ cs.good[root]
+	}
+	for _, id := range members[1:] {
+		v := cs.evalFaulty(id)
+		if v == cs.good[id] {
+			continue // no divergence; downstream reads good value anyway
+		}
+		cs.set(id, v)
+		if cs.isObs[id] {
+			diff |= v ^ cs.good[id]
+		}
+	}
+	return diff
+}
+
+// Combinational fault-simulates full-scan patterns: pattern PI values
+// drive the Input lines, pattern State values drive DFF outputs (scan-in),
+// and detection is observed on POs and on DFF data inputs (scan capture).
+// Patterns run in 64-lane batches; faults are simulated serially with
+// dropping, each evaluating only its fanout cone.
+func Combinational(n *gate.Netlist, pats []gate.Pattern, faults []gate.Fault) (*Result, error) {
+	res := &Result{Total: len(faults), DetectedBy: make([]int, len(faults))}
+	for i := range res.DetectedBy {
+		res.DetectedBy[i] = -1
+	}
+	good, err := gate.NewSim(n)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := newConeSim(n)
+	if err != nil {
+		return nil, err
+	}
+	remaining := make([]int, 0, len(faults))
+	for i := range faults {
+		remaining = append(remaining, i)
+	}
+	for base := 0; base < len(pats) && len(remaining) > 0; base += 64 {
+		batch := pats[base:]
+		if len(batch) > 64 {
+			batch = batch[:64]
+		}
+		k, err := good.ApplyPatterns(batch)
+		if err != nil {
+			return nil, err
+		}
+		laneMask := ^uint64(0)
+		if k < 64 {
+			laneMask = (uint64(1) << uint(k)) - 1
+		}
+		good.Eval()
+		cs.good = good.Val
+		cs.curEp++ // invalidate any faulty values from the prior batch
+		still := remaining[:0]
+		for _, fi := range remaining {
+			if diff := cs.simulate(faults[fi]) & laneMask; diff != 0 {
+				res.Detected++
+				res.DetectedBy[fi] = base + lowestLane(diff)
+			} else {
+				still = append(still, fi)
+			}
+		}
+		remaining = still
+	}
+	return res, nil
+}
+
+func lowestLane(w uint64) int {
+	for i := 0; i < 64; i++ {
+		if w&(1<<uint(i)) != 0 {
+			return i
+		}
+	}
+	return 0
+}
+
+// Stimulus is a sequential input stream: Cycles[c][i] is the value (0/1)
+// of the i-th PI line during cycle c.
+type Stimulus struct {
+	Cycles [][]byte
+}
+
+// RandomStimulus builds a deterministic pseudo-random stimulus of the
+// given length for the netlist's PIs.
+func RandomStimulus(n *gate.Netlist, cycles int, seed uint64) *Stimulus {
+	pis := n.PIs()
+	st := &Stimulus{Cycles: make([][]byte, cycles)}
+	x := seed | 1
+	for c := range st.Cycles {
+		row := make([]byte, len(pis))
+		for i := range row {
+			// xorshift64
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			row[i] = byte(x >> 63)
+		}
+		st.Cycles[c] = row
+	}
+	return st
+}
+
+// Sequential fault-simulates the stimulus from the all-zero reset state,
+// observing only primary outputs. Faults are packed 63 per batch (lane 0
+// carries the good machine). Within a batch, lanes run to completion.
+func Sequential(n *gate.Netlist, stim *Stimulus, faults []gate.Fault) (*Result, error) {
+	res := &Result{Total: len(faults), DetectedBy: make([]int, len(faults))}
+	for i := range res.DetectedBy {
+		res.DetectedBy[i] = -1
+	}
+	pis := n.PIs()
+	for _, row := range stim.Cycles {
+		if len(row) != len(pis) {
+			return nil, fmt.Errorf("fsim: stimulus row has %d values, netlist has %d PIs", len(row), len(pis))
+		}
+	}
+	for base := 0; base < len(faults); base += 63 {
+		batch := faults[base:]
+		if len(batch) > 63 {
+			batch = batch[:63]
+		}
+		s, err := newMultiSim(n)
+		if err != nil {
+			return nil, err
+		}
+		for lane, f := range batch {
+			s.inject(f, 1<<uint(lane+1))
+		}
+		detected := make([]bool, len(batch))
+		for c, row := range stim.Cycles {
+			for i, pi := range pis {
+				if row[i] != 0 {
+					s.val[pi] = ^uint64(0)
+				} else {
+					s.val[pi] = 0
+				}
+			}
+			s.forceState()
+			s.eval()
+			for _, po := range n.POs {
+				w := s.val[po]
+				var goodW uint64
+				if w&1 != 0 {
+					goodW = ^uint64(0)
+				}
+				diff := w ^ goodW
+				if diff == 0 {
+					continue
+				}
+				for lane := range batch {
+					if !detected[lane] && diff&(1<<uint(lane+1)) != 0 {
+						detected[lane] = true
+						res.Detected++
+						res.DetectedBy[base+lane] = c
+					}
+				}
+			}
+			// Clock the state forward.
+			dffs := n.DFFs()
+			next := make([]uint64, len(dffs))
+			for i, d := range dffs {
+				next[i] = s.captureWord(d)
+			}
+			for i, d := range dffs {
+				s.val[d] = s.forceWord(d, next[i])
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,164 @@
+package gate
+
+import "fmt"
+
+// Fault is a single stuck-at fault. Branch < 0 places the fault on the
+// output stem of line Line; Branch >= 0 places it on the Branch-th fanin
+// connection of gate Line (a fanout-branch fault).
+type Fault struct {
+	Line   int
+	Branch int
+	Stuck  byte // 0 or 1
+}
+
+func (f Fault) String() string {
+	if f.Branch < 0 {
+		return fmt.Sprintf("L%d/sa%d", f.Line, f.Stuck)
+	}
+	return fmt.Sprintf("L%d.in%d/sa%d", f.Line, f.Branch, f.Stuck)
+}
+
+// Faults generates the single-stuck-at fault list:
+//
+//   - a stem fault pair (sa0/sa1) on every live line (any fanout, or
+//     driving a PO), and
+//   - branch fault pairs on the fanins of gates fed by multi-fanout stems.
+//
+// Constant lines and dangling lines are excluded (untestable by
+// construction). Branch faults on single-fanout stems are equivalent to
+// the stem fault and therefore omitted.
+func (n *Netlist) Faults() []Fault {
+	fo := n.Fanouts()
+	poCount := make([]int, len(n.Gates))
+	for _, po := range n.POs {
+		poCount[po]++
+	}
+	var out []Fault
+	for id, g := range n.Gates {
+		if g.Type == Const0 || g.Type == Const1 {
+			continue // constant lines are untestable by definition
+		}
+		nf := len(fo[id]) + poCount[id]
+		if nf == 0 {
+			continue // dangling line
+		}
+		out = append(out, Fault{Line: id, Branch: -1, Stuck: 0}, Fault{Line: id, Branch: -1, Stuck: 1})
+	}
+	// Branch faults where a stem fans out to several sinks.
+	for id, g := range n.Gates {
+		if g.Type == Input || g.Type == Const0 || g.Type == Const1 {
+			continue
+		}
+		for b, f := range g.Fanin {
+			src := n.Gates[f]
+			if src.Type == Const0 || src.Type == Const1 {
+				continue
+			}
+			if len(fo[f])+poCount[f] > 1 {
+				out = append(out, Fault{Line: id, Branch: b, Stuck: 0}, Fault{Line: id, Branch: b, Stuck: 1})
+			}
+		}
+	}
+	return out
+}
+
+// FaultSite returns the line whose value the fault corrupts when observed
+// at gate inputs: for a stem fault this is Line itself; for a branch fault
+// it is the fanin line feeding gate Line.
+func (n *Netlist) FaultSite(f Fault) int {
+	if f.Branch < 0 {
+		return f.Line
+	}
+	return n.Gates[f.Line].Fanin[f.Branch]
+}
+
+// InjectedSim simulates the netlist with one injected fault in selected
+// pattern lanes. mask selects the lanes in which the fault is active
+// (all-ones injects everywhere).
+type InjectedSim struct {
+	*Sim
+	F    Fault
+	Mask uint64
+}
+
+// NewInjectedSim wraps a fresh simulator with a fault.
+func NewInjectedSim(n *Netlist, f Fault, mask uint64) (*InjectedSim, error) {
+	s, err := NewSim(n)
+	if err != nil {
+		return nil, err
+	}
+	return &InjectedSim{Sim: s, F: f, Mask: mask}, nil
+}
+
+func (s *InjectedSim) force(v uint64) uint64 {
+	if s.F.Stuck == 0 {
+		return v &^ s.Mask
+	}
+	return v | s.Mask
+}
+
+// Eval propagates values with the fault injected.
+func (s *InjectedSim) Eval() {
+	if s.F.Branch < 0 {
+		// Stem faults on source lines (Input/DFF) must be forced before
+		// the combinational pass consumes them.
+		g := s.n.Gates[s.F.Line].Type
+		if g == Input || g == DFF {
+			s.Val[s.F.Line] = s.force(s.Val[s.F.Line])
+		}
+		// Stem fault on an internal line: force after evaluating it.
+		for _, id := range s.order {
+			v := s.evalGate(id)
+			if id == s.F.Line {
+				v = s.force(v)
+			}
+			s.Val[id] = v
+		}
+		return
+	}
+	// Branch fault: the victim gate sees a corrupted fanin value. Evaluate
+	// normally except at the victim, where we temporarily patch the fanin.
+	for _, id := range s.order {
+		if id == s.F.Line {
+			s.Val[id] = s.evalVictim()
+			continue
+		}
+		s.Val[id] = s.evalGate(id)
+	}
+	// The victim may itself be a DFF (handled in Step) or a gate not in
+	// order (impossible: all non-source gates are ordered).
+}
+
+func (s *InjectedSim) evalVictim() uint64 {
+	g := &s.n.Gates[s.F.Line]
+	fan := g.Fanin[s.F.Branch]
+	saved := s.Val[fan]
+	s.Val[fan] = s.force(saved)
+	v := s.evalGate(s.F.Line)
+	s.Val[fan] = saved
+	return v
+}
+
+// Step advances one clock with the fault injected.
+func (s *InjectedSim) Step() {
+	s.Eval()
+	dffs := s.n.DFFs()
+	next := make([]uint64, len(dffs))
+	for i, d := range dffs {
+		fan := s.n.Gates[d].Fanin[0]
+		v := s.Val[fan]
+		if s.F.Branch >= 0 && s.F.Line == d {
+			v = s.force(v)
+		}
+		next[i] = v
+	}
+	for i, d := range dffs {
+		s.Val[d] = next[i]
+	}
+	if s.F.Branch < 0 {
+		g := s.n.Gates[s.F.Line].Type
+		if g == DFF {
+			s.Val[s.F.Line] = s.force(s.Val[s.F.Line])
+		}
+	}
+}

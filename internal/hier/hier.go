@@ -1,0 +1,192 @@
+// Package hier implements the paper's hierarchical-testing claim
+// (Section 1: "This technique is suitable for testing the SOC in a
+// hierarchical fashion"): a fully prepared SoC is flattened into a single
+// meta-core whose transparency behavior equals the chip's pin-to-pin test
+// paths, so the SoC can itself be embedded as a core in a larger system
+// and tested through the same machinery — no sequential test generation
+// over the combined design ever happens.
+package hier
+
+import (
+	"fmt"
+
+	"repro/internal/ccg"
+	"repro/internal/core"
+	"repro/internal/rtl"
+	"repro/internal/soc"
+)
+
+// PinPath is one pin-to-pin transparency path of the flattened chip.
+type PinPath struct {
+	PI, PO  string
+	Latency int
+	Width   int
+}
+
+// Flatten derives the chip's pin-level transparency (at its current
+// version selection) and builds a surrogate RTL core — a register
+// skeleton with one pipeline per pin pair — whose transparency latencies
+// equal the chip's test-path latencies. The skeleton is what the chip
+// *looks like* to a higher-level SOCET flow; its registers stand in for
+// the embedded cores' transparency stages.
+func Flatten(f *core.Flow, name string) (*rtl.Core, []PinPath, error) {
+	g, err := ccg.Build(f.Chip)
+	if err != nil {
+		return nil, nil, err
+	}
+	b := rtl.NewCore(name)
+	for _, pi := range f.Chip.PIs {
+		b.In(pi.Name, pi.Width)
+	}
+	for _, po := range f.Chip.POs {
+		b.Out(po.Name, po.Width)
+	}
+	var paths []PinPath
+	usedPO := map[string]bool{}
+	regCount := 0
+	for _, po := range f.Chip.POs {
+		poNode, ok := g.NodeIndex(po.Name)
+		if !ok {
+			continue
+		}
+		// Best PI for this PO: widest coverage first (test bandwidth),
+		// then earliest arrival.
+		var best *ccg.PathResult
+		var bestPI string
+		bestW := -1
+		for _, pi := range f.Chip.PIs {
+			piNode, ok := g.NodeIndex(pi.Name)
+			if !ok {
+				continue
+			}
+			p := g.ShortestPath([]int{piNode}, poNode, ccg.Reservations{})
+			if p == nil {
+				continue
+			}
+			w := pi.Width
+			if po.Width < w {
+				w = po.Width
+			}
+			if w > bestW || (w == bestW && p.Arrival < best.Arrival) {
+				best, bestPI, bestW = p, pi.Name, w
+			}
+		}
+		if best == nil {
+			continue // unobservable PO at this design point
+		}
+		lat := best.Arrival
+		if lat < 1 {
+			lat = 1
+		}
+		piPin, _ := pinOf(f.Chip.PIs, bestPI)
+		w := po.Width
+		if piPin.Width < w {
+			w = piPin.Width
+		}
+		// Register pipeline of length lat from the PI slice to the PO.
+		prev := fmt.Sprintf("%s[%d:0]", bestPI, w-1)
+		for k := 0; k < lat; k++ {
+			rname := fmt.Sprintf("H%d", regCount)
+			regCount++
+			b.Reg(rname, w)
+			b.Wire(prev, rname+".d")
+			prev = fmt.Sprintf("%s.q[%d:0]", rname, w-1)
+		}
+		b.Wire(prev, fmt.Sprintf("%s[%d:0]", po.Name, w-1))
+		usedPO[po.Name] = true
+		paths = append(paths, PinPath{PI: bestPI, PO: po.Name, Latency: lat, Width: w})
+	}
+	if len(paths) == 0 {
+		return nil, nil, fmt.Errorf("hier: chip %s has no pin-to-pin transparency at all", f.Chip.Name)
+	}
+	c, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, paths, nil
+}
+
+// Embed wraps a flattened chip and sibling cores into a new chip: the
+// meta-core's inputs come from fresh chip pins, its outputs feed the
+// sibling cores where widths match, and everything else terminates at
+// chip pins.
+func Embed(name string, meta *rtl.Core, siblings ...*rtl.Core) *soc.Chip {
+	ch := &soc.Chip{Name: name}
+	ch.Cores = append(ch.Cores, &soc.Core{Name: meta.Name, RTL: meta})
+	for _, s := range siblings {
+		ch.Cores = append(ch.Cores, &soc.Core{Name: s.Name, RTL: s})
+	}
+	pi, po := 0, 0
+	newPI := func(w int) string {
+		n := fmt.Sprintf("XPI%d", pi)
+		pi++
+		ch.PIs = append(ch.PIs, soc.Pin{Name: n, Width: w})
+		return n
+	}
+	newPO := func(w int) string {
+		n := fmt.Sprintf("XPO%d", po)
+		po++
+		ch.POs = append(ch.POs, soc.Pin{Name: n, Width: w})
+		return n
+	}
+	// Meta-core inputs from chip pins.
+	for _, p := range meta.Inputs() {
+		ch.Nets = append(ch.Nets, soc.Net{FromPort: newPI(p.Width), ToCore: meta.Name, ToPort: p.Name})
+	}
+	// Meta-core outputs: feed each sibling's width-matching inputs first,
+	// then chip pins.
+	outs := meta.Outputs()
+	oi := 0
+	for _, s := range siblings {
+		for _, in := range s.Inputs() {
+			for ; oi < len(outs); oi++ {
+				if outs[oi].Width == in.Width {
+					ch.Nets = append(ch.Nets, soc.Net{
+						FromCore: meta.Name, FromPort: outs[oi].Name,
+						ToCore: s.Name, ToPort: in.Name,
+					})
+					oi++
+					break
+				}
+			}
+		}
+	}
+	used := map[string]bool{}
+	for _, n := range ch.Nets {
+		if n.FromCore == meta.Name {
+			used[n.FromPort] = true
+		}
+	}
+	for _, out := range outs {
+		if !used[out.Name] {
+			ch.Nets = append(ch.Nets, soc.Net{FromCore: meta.Name, FromPort: out.Name, ToPort: newPO(out.Width)})
+		}
+	}
+	// Sibling leftovers.
+	for _, s := range siblings {
+		driven := map[string]bool{}
+		for _, n := range ch.Nets {
+			if n.ToCore == s.Name {
+				driven[n.ToPort] = true
+			}
+		}
+		for _, in := range s.Inputs() {
+			if !driven[in.Name] {
+				ch.Nets = append(ch.Nets, soc.Net{FromPort: newPI(in.Width), ToCore: s.Name, ToPort: in.Name})
+			}
+		}
+		for _, out := range s.Outputs() {
+			ch.Nets = append(ch.Nets, soc.Net{FromCore: s.Name, FromPort: out.Name, ToPort: newPO(out.Width)})
+		}
+	}
+	return ch
+}
+
+func pinOf(pins []soc.Pin, name string) (soc.Pin, bool) {
+	for _, p := range pins {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return soc.Pin{}, false
+}

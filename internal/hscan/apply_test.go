@@ -1,0 +1,152 @@
+package hscan_test
+
+import (
+	"testing"
+
+	"repro/internal/hscan"
+	"repro/internal/rtl"
+	"repro/internal/rtlsim"
+	"repro/internal/synth"
+	"repro/internal/systems"
+	"repro/internal/trans"
+)
+
+// Apply materializes the scan hardware; the applied core must validate,
+// synthesize, and make every scan path physically simulatable.
+func TestApplyCPU(t *testing.T) {
+	c := systems.CPU()
+	res, err := hscan.Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := hscan.Apply(c, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ap.Core.PortByName(ap.ScanEn); !ok {
+		t.Fatal("no scan-enable port added")
+	}
+	// The applied core synthesizes.
+	sr, err := synth.Synthesize(ap.Core)
+	if err != nil {
+		t.Fatalf("applied core does not synthesize: %v", err)
+	}
+	// Mission-mode equivalence spot check: with ScanEn=0 the applied core
+	// behaves like the original on its registers.
+	orig, err := rtlsim.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := rtlsim.New(ap.Core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod.SetInput(ap.ScanEn, 0)
+	for cyc := 0; cyc < 8; cyc++ {
+		v := uint64(cyc*37 + 5)
+		orig.SetInput("Data", v)
+		mod.SetInput("Data", v)
+		orig.Step()
+		mod.Step()
+	}
+	for _, r := range c.Regs {
+		if orig.Reg(r.Name) != mod.Reg(r.Name) {
+			t.Errorf("mission-mode divergence at %s: %#x vs %#x", r.Name, orig.Reg(r.Name), mod.Reg(r.Name))
+		}
+	}
+	_ = sr
+}
+
+// With the scan hardware applied, every previously-virtual scan edge is a
+// real path: each created edge moves a value through its inserted mux in
+// one cycle when ScanEn=1.
+func TestAppliedScanEdgesPhysical(t *testing.T) {
+	for _, name := range []string{"CPU", "PREPROCESSOR", "DISPLAY", "GCD"} {
+		c := coreByName(name)
+		res, err := hscan.Insert(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ap, err := hscan.Apply(c, res)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for ei, e := range res.Edges {
+			if !e.Created || e.ToPort {
+				continue
+			}
+			mux := ap.MuxFor[ei]
+			if mux == "" {
+				t.Errorf("%s: created edge %d has no inserted mux", name, ei)
+				continue
+			}
+			sim, err := rtlsim.New(ap.Core)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim.SetInput(ap.ScanEn, 1)
+			payload := uint64(0x5A) & ((1 << uint(e.Src.Width())) - 1)
+			if e.FromPort {
+				if err := sim.SetInput(e.From, payload<<uint(e.Src.Lo)); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if err := sim.SetReg(e.From, payload<<uint(e.Src.Lo)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if r, _ := ap.Core.RegByName(e.To); r.HasLoad {
+				sim.ForceLoad(e.To, true)
+			}
+			sim.Step()
+			got := (sim.Reg(e.To) >> uint(e.Dst.Lo)) & ((1 << uint(e.Src.Width())) - 1)
+			if got != payload {
+				t.Errorf("%s: scan edge %s->%s via %s: sent %#x got %#x", name, e.From, e.To, mux, payload, got)
+			}
+		}
+	}
+}
+
+// The RCG built over the applied core no longer needs virtual scan-mux
+// edges: transparency paths that used them become physically verifiable.
+func TestAppliedCoreTransparencyVerifies(t *testing.T) {
+	c := systems.CPU()
+	res, err := hscan.Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := hscan.Apply(c, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the RCG on the applied core: the inserted muxes now appear
+	// as ordinary paths.
+	g, err := trans.Build(ap.Core, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verified, skipped, err := rtlsim.VerifyAllEdges(ap.Core, g, 0x1234)
+	if err != nil {
+		t.Fatalf("verification on applied core: %v", err)
+	}
+	if skipped != 0 {
+		t.Errorf("applied core still has %d virtual edges", skipped)
+	}
+	if verified == 0 {
+		t.Error("nothing verified")
+	}
+}
+
+func coreByName(name string) *rtl.Core {
+	switch name {
+	case "CPU":
+		return systems.CPU()
+	case "PREPROCESSOR":
+		return systems.Preprocessor()
+	case "DISPLAY":
+		return systems.Display()
+	case "GCD":
+		return systems.GCD()
+	}
+	return nil
+}

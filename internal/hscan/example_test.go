@@ -1,0 +1,25 @@
+package hscan_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hscan"
+	"repro/internal/systems"
+)
+
+// ExampleInsert threads the PREPROCESSOR's registers into HSCAN scan
+// chains, reusing the existing mux paths of its measurement pipeline.
+func ExampleInsert() {
+	prep := systems.Preprocessor()
+	res, _ := hscan.Insert(prep)
+	fmt.Printf("depth %d, %d cycles per vector\n", res.MaxDepth, res.ScanCyclesPerVector())
+	for _, ch := range res.Chains {
+		fmt.Println(strings.Join(ch.Regs, " -> "))
+	}
+	// Output:
+	// depth 5, 6 cycles per vector
+	// ADDRCNT
+	// EOCREG
+	// SYNC -> FILT -> WIDTH -> THRESH -> OUTREG
+}

@@ -1,0 +1,280 @@
+package hscan
+
+import (
+	"testing"
+
+	"repro/internal/rtl"
+)
+
+// chainCover asserts every register appears in exactly one chain.
+func chainCover(t *testing.T, c *rtl.Core, res *Result) {
+	t.Helper()
+	seen := map[string]int{}
+	for _, ch := range res.Chains {
+		for _, r := range ch.Regs {
+			seen[r]++
+		}
+	}
+	for _, r := range c.Regs {
+		if seen[r.Name] != 1 {
+			t.Errorf("register %s appears in %d chains, want 1 (chains=%v)", r.Name, seen[r.Name], res.Chains)
+		}
+	}
+}
+
+func TestFigure1ReusesMuxPath(t *testing.T) {
+	// REG1 -> mux -> REG2 as in Figure 1(a): the chain should reuse the
+	// path with only control gates, no test muxes.
+	c := rtl.NewCore("fig1").
+		In("din", 16).
+		Out("dout", 16).
+		Reg("reg1", 16).
+		Reg("reg2", 16).
+		Mux("m1", 16, 2).
+		Unit(rtl.Unit{Name: "alu", Op: rtl.OpAdd, Width: 16}).
+		Wire("din", "reg1.d").
+		Wire("reg1.q", "m1.in0").
+		Wire("alu.out", "m1.in1").
+		Wire("m1.out", "reg2.d").
+		Wire("reg1.q", "alu.in0").
+		Wire("reg2.q", "alu.in1").
+		Wire("reg2.q", "dout").
+		MustBuild()
+	res, err := Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chainCover(t, c, res)
+	if len(res.Chains) != 1 {
+		t.Fatalf("got %d chains, want 1: %v", len(res.Chains), res.Chains)
+	}
+	ch := res.Chains[0]
+	if ch.Regs[0] != "reg1" || ch.Regs[1] != "reg2" {
+		t.Errorf("chain order = %v, want [reg1 reg2]", ch.Regs)
+	}
+	// Internal link must be a mux reuse, 2 cells (paper: "just two extra
+	// logic gates").
+	var internal *Link
+	for i := range ch.Links {
+		if ch.Links[i].Kind == ReuseMux {
+			internal = &ch.Links[i]
+		}
+		if ch.Links[i].Kind == TestMux {
+			t.Errorf("unexpected test mux link %v", ch.Links[i])
+		}
+	}
+	if internal == nil {
+		t.Fatalf("no reuse-mux link found: %v", ch.Links)
+	}
+	if got := internal.Cost.Cells(); got != 2 {
+		t.Errorf("reuse link cost = %d cells, want 2", got)
+	}
+	if res.MaxDepth != 2 {
+		t.Errorf("MaxDepth = %d, want 2", res.MaxDepth)
+	}
+}
+
+func TestDirectConnectionCostsOneCell(t *testing.T) {
+	c := rtl.NewCore("direct").
+		In("a", 8).
+		Out("z", 8).
+		Reg("r1", 8).
+		Reg("r2", 8).
+		Wire("a", "r1.d").
+		Wire("r1.q", "r2.d").
+		Wire("r2.q", "z").
+		MustBuild()
+	res, err := Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chainCover(t, c, res)
+	var direct *Link
+	for _, ch := range res.Chains {
+		for i := range ch.Links {
+			if ch.Links[i].Kind == Direct {
+				direct = &ch.Links[i]
+			}
+		}
+	}
+	if direct == nil {
+		t.Fatalf("no direct link: %+v", res.Chains)
+	}
+	if got := direct.Cost.Cells(); got != 1 {
+		t.Errorf("direct link cost = %d, want 1 (OR at load)", got)
+	}
+}
+
+func TestDisconnectedRegistersGetTestMuxes(t *testing.T) {
+	// Two registers fed only through units: no reusable paths at all.
+	c := rtl.NewCore("isolated").
+		In("a", 4).
+		Out("z", 4).
+		Reg("r1", 4).
+		Reg("r2", 4).
+		Unit(rtl.Unit{Name: "u1", Op: rtl.OpInc, Width: 4}).
+		Unit(rtl.Unit{Name: "u2", Op: rtl.OpInc, Width: 4}).
+		Unit(rtl.Unit{Name: "u3", Op: rtl.OpAdd, Width: 4}).
+		Wire("a", "u1.in0").
+		Wire("u1.out", "r1.d").
+		Wire("r1.q", "u2.in0").
+		Wire("u2.out", "r2.d").
+		Wire("r2.q", "u3.in0").
+		Wire("r1.q", "u3.in1").
+		Wire("u3.out", "z").
+		MustBuild()
+	res, err := Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chainCover(t, c, res)
+	// Everything must be reachable only via created test muxes.
+	created := 0
+	for _, e := range res.Edges {
+		if e.Created {
+			created++
+		}
+	}
+	if created == 0 {
+		t.Error("expected created test-mux edges")
+	}
+	if res.Area.Cells() < 8 {
+		t.Errorf("area = %d cells, want >= 8 (test muxes on 4-bit regs)", res.Area.Cells())
+	}
+}
+
+func TestLongChainDepth(t *testing.T) {
+	// r1 -> r2 -> r3 -> r4 direct pipeline: single chain of depth 4.
+	b := rtl.NewCore("pipe").In("a", 8).Out("z", 8)
+	b.Reg("r1", 8).Reg("r2", 8).Reg("r3", 8).Reg("r4", 8)
+	b.Wire("a", "r1.d").Wire("r1.q", "r2.d").Wire("r2.q", "r3.d").Wire("r3.q", "r4.d").Wire("r4.q", "z")
+	c := b.MustBuild()
+	res, err := Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chainCover(t, c, res)
+	if res.MaxDepth != 4 {
+		t.Errorf("MaxDepth = %d, want 4", res.MaxDepth)
+	}
+	if res.ScanCyclesPerVector() != 5 {
+		t.Errorf("ScanCyclesPerVector = %d, want 5", res.ScanCyclesPerVector())
+	}
+	// Paper's DISPLAY arithmetic: 105 vectors at depth 4 -> 525.
+	if got := res.VectorsFor(105); got != 525 {
+		t.Errorf("VectorsFor(105) = %d, want 525", got)
+	}
+}
+
+func TestMuxSelectConflictResolved(t *testing.T) {
+	// Two register pairs share one mux with opposite selects; only one
+	// link can reuse it, the other must fall back to a test mux.
+	c := rtl.NewCore("conflict").
+		In("a", 4).In("b", 4).
+		Out("z", 4).
+		Reg("r1", 4).Reg("r2", 4).Reg("r3", 4).
+		Mux("m", 4, 2).
+		Wire("a", "r1.d").
+		Wire("b", "r2.d").
+		Wire("r1.q", "m.in0").
+		Wire("r2.q", "m.in1").
+		Wire("m.out", "r3.d").
+		Wire("r3.q", "z").
+		MustBuild()
+	res, err := Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chainCover(t, c, res)
+	// r3 has two possible predecessors through m but only one may win.
+	preds := 0
+	for _, e := range res.Edges {
+		if e.To == "r3" && !e.Created {
+			preds++
+		}
+	}
+	if preds > 1 {
+		t.Errorf("r3 has %d scan predecessors through conflicting mux selects", preds)
+	}
+}
+
+func TestCycleBrokenIntoChain(t *testing.T) {
+	// r1 -> r2 -> r1 loop with an input into r1 and output from r2: the
+	// matching could select a cycle; insertion must still produce chains
+	// covering both registers.
+	c := rtl.NewCore("loop").
+		In("a", 4).
+		Out("z", 4).
+		Reg("r1", 4).Reg("r2", 4).
+		Mux("m", 4, 2).
+		Wire("a", "m.in0").
+		Wire("r2.q", "m.in1").
+		Wire("m.out", "r1.d").
+		Wire("r1.q", "r2.d").
+		Wire("r2.q", "z").
+		MustBuild()
+	res, err := Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chainCover(t, c, res)
+}
+
+func TestEdgesExposeHopsForTransparency(t *testing.T) {
+	c := rtl.NewCore("hops").
+		In("a", 4).
+		Out("z", 4).
+		Reg("r1", 4).Reg("r2", 4).
+		Mux("m", 4, 2).
+		Wire("a", "r1.d").
+		Wire("r1.q", "m.in0").
+		Wire("a", "m.in1").
+		Wire("m.out", "r2.d").
+		Wire("r2.q", "z").
+		MustBuild()
+	res, err := Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, e := range res.Edges {
+		if e.From == "r1" && e.To == "r2" && !e.Created {
+			found = true
+			if len(e.Hops) != 1 || e.Hops[0].Mux != "m" {
+				t.Errorf("edge hops = %v, want [m@0]", e.Hops)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("r1->r2 edge not exposed: %+v", res.Edges)
+	}
+}
+
+func TestMatcherSimple(t *testing.T) {
+	m := newMatcher(3)
+	m.addEdge(0, 1)
+	m.addEdge(1, 2)
+	m.addEdge(2, 0)
+	if got := m.maxMatching(); got != 3 {
+		t.Errorf("matching size = %d, want 3 (perfect cycle cover)", got)
+	}
+}
+
+func TestMatcherAugmenting(t *testing.T) {
+	// 0-1, 0-2, 1-1: greedy picking 0-1 first must be repaired by an
+	// augmenting path to reach size 2.
+	m := newMatcher(3)
+	m.addEdge(0, 1)
+	m.addEdge(0, 2)
+	m.addEdge(1, 1)
+	if got := m.maxMatching(); got != 2 {
+		t.Errorf("matching size = %d, want 2", got)
+	}
+}
+
+func TestMatcherEmpty(t *testing.T) {
+	m := newMatcher(4)
+	if got := m.maxMatching(); got != 0 {
+		t.Errorf("matching size = %d, want 0", got)
+	}
+}

@@ -1,0 +1,95 @@
+package hscan
+
+// matcher is a Hopcroft-Karp maximum bipartite matcher. Left vertices are
+// registers in their role as scan predecessors; right vertices are the
+// same registers as scan successors. A maximum matching is a minimum path
+// cover of the register set by reusable scan paths, minimizing the number
+// of inserted test multiplexers.
+type matcher struct {
+	n      int
+	adj    [][]int
+	matchL []int
+	matchR []int
+	dist   []int
+}
+
+func newMatcher(n int) *matcher {
+	m := &matcher{
+		n:      n,
+		adj:    make([][]int, n),
+		matchL: make([]int, n),
+		matchR: make([]int, n),
+		dist:   make([]int, n+1),
+	}
+	for i := range m.matchL {
+		m.matchL[i] = -1
+		m.matchR[i] = -1
+	}
+	return m
+}
+
+// addEdge connects left vertex u to right vertex v. Edges added earlier
+// are explored first, so callers can encode preference by insertion order.
+func (m *matcher) addEdge(u, v int) {
+	m.adj[u] = append(m.adj[u], v)
+}
+
+const infDist = 1 << 30
+
+// maxMatching computes a maximum matching and returns its size.
+func (m *matcher) maxMatching() int {
+	size := 0
+	for m.bfs() {
+		for u := 0; u < m.n; u++ {
+			if m.matchL[u] < 0 && m.dfs(u) {
+				size++
+			}
+		}
+	}
+	return size
+}
+
+func (m *matcher) bfs() bool {
+	queue := make([]int, 0, m.n)
+	for u := 0; u < m.n; u++ {
+		if m.matchL[u] < 0 {
+			m.dist[u] = 0
+			queue = append(queue, u)
+		} else {
+			m.dist[u] = infDist
+		}
+	}
+	m.dist[m.n] = infDist // sentinel for "free right vertex reached"
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if m.dist[u] >= m.dist[m.n] {
+			continue
+		}
+		for _, v := range m.adj[u] {
+			w := m.matchR[v]
+			if w < 0 {
+				if m.dist[m.n] == infDist {
+					m.dist[m.n] = m.dist[u] + 1
+				}
+			} else if m.dist[w] == infDist {
+				m.dist[w] = m.dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return m.dist[m.n] != infDist
+}
+
+func (m *matcher) dfs(u int) bool {
+	for _, v := range m.adj[u] {
+		w := m.matchR[v]
+		if w < 0 || (m.dist[w] == m.dist[u]+1 && m.dfs(w)) {
+			m.matchL[u] = v
+			m.matchR[v] = u
+			return true
+		}
+	}
+	m.dist[u] = infDist
+	return false
+}

@@ -1,0 +1,218 @@
+package rtl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Builder assembles a Core with a compact textual endpoint syntax.
+// Endpoints are written "comp", "comp.pin", "comp[3]", "comp.pin[7:4]";
+// slices use Verilog-style [hi:lo] with inclusive indices. Errors are
+// accumulated and reported by Build.
+type Builder struct {
+	core Core
+	errs []error
+}
+
+// NewCore starts building a core with the given name.
+func NewCore(name string) *Builder {
+	return &Builder{core: Core{Name: name}}
+}
+
+func (b *Builder) errorf(format string, args ...interface{}) {
+	b.errs = append(b.errs, fmt.Errorf("rtl: core %s: "+format, append([]interface{}{b.core.Name}, args...)...))
+}
+
+// In declares a data input port.
+func (b *Builder) In(name string, width int) *Builder {
+	b.core.Ports = append(b.core.Ports, Port{Name: name, Dir: In, Width: width})
+	return b
+}
+
+// CtlIn declares a control input port (e.g. Reset, Interrupt).
+func (b *Builder) CtlIn(name string, width int) *Builder {
+	b.core.Ports = append(b.core.Ports, Port{Name: name, Dir: In, Width: width, Control: true})
+	return b
+}
+
+// Out declares a data output port.
+func (b *Builder) Out(name string, width int) *Builder {
+	b.core.Ports = append(b.core.Ports, Port{Name: name, Dir: Out, Width: width})
+	return b
+}
+
+// CtlOut declares a control output port (e.g. Read, Write).
+func (b *Builder) CtlOut(name string, width int) *Builder {
+	b.core.Ports = append(b.core.Ports, Port{Name: name, Dir: Out, Width: width, Control: true})
+	return b
+}
+
+// Reg declares a register without a load-enable.
+func (b *Builder) Reg(name string, width int) *Builder {
+	b.core.Regs = append(b.core.Regs, Register{Name: name, Width: width})
+	return b
+}
+
+// RegLd declares a register with a load-enable pin "ld".
+func (b *Builder) RegLd(name string, width int) *Builder {
+	b.core.Regs = append(b.core.Regs, Register{Name: name, Width: width, HasLoad: true})
+	return b
+}
+
+// Mux declares an n-to-1 multiplexer.
+func (b *Builder) Mux(name string, width, numIn int) *Builder {
+	if numIn < 2 {
+		b.errorf("mux %s: need at least 2 inputs, got %d", name, numIn)
+		numIn = 2
+	}
+	b.core.Muxes = append(b.core.Muxes, Mux{Name: name, Width: width, NumIn: numIn})
+	return b
+}
+
+// Unit declares a functional unit.
+func (b *Builder) Unit(u Unit) *Builder {
+	if u.NumIn == 0 {
+		switch u.Op {
+		case OpInc, OpDec, OpNot, OpShl, OpShr, OpDecode:
+			u.NumIn = 1
+		case OpConst:
+			u.NumIn = 0
+		default:
+			u.NumIn = 2
+		}
+	}
+	if u.OutWidth == 0 {
+		switch u.Op {
+		case OpEq:
+			u.OutWidth = 1
+		case OpDecode:
+			u.OutWidth = 1 << u.Width
+		default:
+			u.OutWidth = u.Width
+		}
+	}
+	b.core.Units = append(b.core.Units, u)
+	return b
+}
+
+// Cloud declares an opaque combinational cloud named name with inWidth-bit
+// inputs (numIn of them), outWidth output bits, and approximately gates
+// synthesized gates.
+func (b *Builder) Cloud(name string, numIn, inWidth, outWidth, gates int) *Builder {
+	return b.Unit(Unit{Name: name, Op: OpCloud, Width: inWidth, NumIn: numIn, OutWidth: outWidth, CloudGates: gates})
+}
+
+// DecodeCloud declares an AND-biased (decoder-like) combinational cloud.
+func (b *Builder) DecodeCloud(name string, numIn, inWidth, outWidth, gates int) *Builder {
+	return b.Unit(Unit{Name: name, Op: OpCloud, Width: inWidth, NumIn: numIn, OutWidth: outWidth, CloudGates: gates, CloudAndBias: true})
+}
+
+// Const declares a constant source unit of the given width and value.
+func (b *Builder) Const(name string, width int, val uint64) *Builder {
+	return b.Unit(Unit{Name: name, Op: OpConst, Width: width, OutWidth: width, ConstVal: val})
+}
+
+// Wire connects source endpoint from to sink endpoint to, both in endpoint
+// syntax. Unsliced endpoints span the full pin width.
+func (b *Builder) Wire(from, to string) *Builder {
+	f, err := ParseEndpoint(from)
+	if err != nil {
+		b.errorf("%v", err)
+		return b
+	}
+	t, err := ParseEndpoint(to)
+	if err != nil {
+		b.errorf("%v", err)
+		return b
+	}
+	b.core.Conns = append(b.core.Conns, Conn{From: f, To: t})
+	return b
+}
+
+// Build finalizes the core: full-width slices are resolved, and the core is
+// validated.
+func (b *Builder) Build() (*Core, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	c := b.core
+	if err := c.buildIndex(); err != nil {
+		return nil, err
+	}
+	for i := range c.Conns {
+		for _, ep := range []*Endpoint{&c.Conns[i].From, &c.Conns[i].To} {
+			if ep.Hi == fullWidth {
+				w, err := c.PinWidth(ep.Comp, ep.Pin)
+				if err != nil {
+					return nil, err
+				}
+				ep.Lo, ep.Hi = 0, w-1
+			}
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// MustBuild is Build that panics on error; for statically-known cores.
+func (b *Builder) MustBuild() *Core {
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// fullWidth marks an endpoint whose slice spans the whole pin; resolved at
+// Build time once pin widths are known.
+const fullWidth = -1
+
+// ParseEndpoint parses endpoint syntax: "comp", "comp.pin", "comp[3]",
+// "comp.pin[7:4]". An endpoint without an explicit slice spans the full pin
+// (Hi is set to an internal marker resolved during Build).
+func ParseEndpoint(s string) (Endpoint, error) {
+	orig := s
+	ep := Endpoint{Lo: 0, Hi: fullWidth}
+	if i := strings.IndexByte(s, '['); i >= 0 {
+		if !strings.HasSuffix(s, "]") {
+			return ep, fmt.Errorf("rtl: bad endpoint %q: missing ]", orig)
+		}
+		idx := s[i+1 : len(s)-1]
+		s = s[:i]
+		if j := strings.IndexByte(idx, ':'); j >= 0 {
+			hi, err1 := strconv.Atoi(idx[:j])
+			lo, err2 := strconv.Atoi(idx[j+1:])
+			if err1 != nil || err2 != nil || lo < 0 || hi < lo {
+				return ep, fmt.Errorf("rtl: bad endpoint %q: bad slice [%s]", orig, idx)
+			}
+			ep.Lo, ep.Hi = lo, hi
+		} else {
+			bit, err := strconv.Atoi(idx)
+			if err != nil || bit < 0 {
+				return ep, fmt.Errorf("rtl: bad endpoint %q: bad index [%s]", orig, idx)
+			}
+			ep.Lo, ep.Hi = bit, bit
+		}
+	}
+	if j := strings.IndexByte(s, '.'); j >= 0 {
+		ep.Comp, ep.Pin = s[:j], s[j+1:]
+	} else {
+		ep.Comp = s
+	}
+	if ep.Comp == "" {
+		return ep, fmt.Errorf("rtl: bad endpoint %q: empty component", orig)
+	}
+	return ep, nil
+}
+
+// MustEndpoint is ParseEndpoint that panics on error.
+func MustEndpoint(s string) Endpoint {
+	ep, err := ParseEndpoint(s)
+	if err != nil {
+		panic(err)
+	}
+	return ep
+}

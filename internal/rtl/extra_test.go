@@ -1,0 +1,147 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringFormats(t *testing.T) {
+	ep := Endpoint{Comp: "r", Pin: "q", Lo: 2, Hi: 5}
+	if ep.String() != "r.q[5:2]" {
+		t.Errorf("endpoint string = %q", ep.String())
+	}
+	one := Endpoint{Comp: "a", Lo: 3, Hi: 3}
+	if one.String() != "a[3]" {
+		t.Errorf("single-bit string = %q", one.String())
+	}
+	cn := Conn{From: one, To: Endpoint{Comp: "r", Pin: "d", Lo: 0, Hi: 0}}
+	if cn.String() != "a[3] -> r.d[0]" {
+		t.Errorf("conn string = %q", cn.String())
+	}
+	if In.String() != "in" || Out.String() != "out" {
+		t.Error("direction strings")
+	}
+	if KindPort.String() != "port" || KindReg.String() != "reg" || KindMux.String() != "mux" || KindUnit.String() != "unit" {
+		t.Error("kind strings")
+	}
+	if OpAdd.String() != "add" || OpCloud.String() != "cloud" {
+		t.Error("op strings")
+	}
+	if !strings.HasPrefix(UnitOp(99).String(), "UnitOp(") {
+		t.Error("unknown op string")
+	}
+	if !strings.HasPrefix(CompKind(9).String(), "CompKind(") {
+		t.Error("unknown kind string")
+	}
+	h := Hop{Mux: "m", Sel: 1}
+	if h.String() != "m@1" {
+		t.Errorf("hop string = %q", h.String())
+	}
+}
+
+func TestMustEndpointPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEndpoint accepted garbage")
+		}
+	}()
+	MustEndpoint("[oops")
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild accepted an invalid core")
+		}
+	}()
+	NewCore("bad").In("a", 4).In("a", 4).MustBuild()
+}
+
+func TestFanoutAndDrivers(t *testing.T) {
+	c := NewCore("fan").
+		In("a", 4).
+		Out("x", 4).Out("y", 4).
+		Reg("r", 4).
+		Wire("a", "r.d").
+		Wire("r.q", "x").
+		Wire("r.q", "y").
+		MustBuild()
+	fo := FanoutOf(c, Endpoint{Comp: "r", Pin: "q", Lo: 0, Hi: 3})
+	if len(fo) != 2 {
+		t.Errorf("fanout = %d conns, want 2", len(fo))
+	}
+	dr := DriversOf(c, Endpoint{Comp: "r", Pin: "d", Lo: 0, Hi: 3})
+	if len(dr) != 1 || dr[0].From.Comp != "a" {
+		t.Errorf("drivers = %v", dr)
+	}
+	if len(FanoutOf(c, Endpoint{Comp: "a", Lo: 0, Hi: 3})) != 1 {
+		t.Error("input fanout")
+	}
+	// Non-overlapping slice sees nothing.
+	if len(DriversOf(c, Endpoint{Comp: "r", Pin: "q", Lo: 0, Hi: 3})) != 0 {
+		t.Error("q pin has drivers?")
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	p := Path{
+		Src:  Endpoint{Comp: "a", Lo: 0, Hi: 3},
+		Dst:  Endpoint{Comp: "r", Pin: "d", Lo: 0, Hi: 3},
+		Hops: []Hop{{"m", 1}},
+	}
+	if p.Direct() {
+		t.Error("path with hops is not direct")
+	}
+	s := p.String()
+	if !strings.Contains(s, "m@1") || !strings.Contains(s, "r.d") {
+		t.Errorf("path string = %q", s)
+	}
+}
+
+func TestAluOpPin(t *testing.T) {
+	c := NewCore("alu").
+		In("a", 4).In("b", 4).In("op", 2).
+		Out("z", 4).
+		Unit(Unit{Name: "u", Op: OpAlu, Width: 4, AluOps: 4}).
+		Wire("a", "u.in0").Wire("b", "u.in1").Wire("op", "u.op").
+		Wire("u.out", "z").
+		MustBuild()
+	w, err := c.PinWidth("u", "op")
+	if err != nil || w != 2 {
+		t.Errorf("alu op width = %d, %v", w, err)
+	}
+	// Undriven op would appear in Undriven if disconnected.
+	c2 := NewCore("alu2").
+		In("a", 4).In("b", 4).
+		Out("z", 4).
+		Unit(Unit{Name: "u", Op: OpAlu, Width: 4, AluOps: 4}).
+		Wire("a", "u.in0").Wire("b", "u.in1").
+		Wire("u.out", "z").
+		MustBuild()
+	found := false
+	for _, u := range c2.Undriven() {
+		if u.Comp == "u" && u.Pin == "op" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("undriven alu op not reported: %v", c2.Undriven())
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	c := NewCore("l").In("a", 1).Out("z", 1).Reg("r", 1).
+		Wire("a", "r.d").Wire("r.q", "z").MustBuild()
+	if _, ok := c.PortByName("r"); ok {
+		t.Error("register returned as port")
+	}
+	if _, ok := c.RegByName("a"); ok {
+		t.Error("port returned as register")
+	}
+	if _, ok := c.MuxByName("a"); ok {
+		t.Error("port returned as mux")
+	}
+	if _, ok := c.UnitByName("a"); ok {
+		t.Error("port returned as unit")
+	}
+}

@@ -1,0 +1,116 @@
+package rtlgen
+
+import (
+	"fmt"
+
+	"repro/internal/rtl"
+	"repro/internal/soc"
+)
+
+// ChipParams sizes a generated SoC.
+type ChipParams struct {
+	Seed  uint64
+	Cores int // number of cores (default 2..4, seed-dependent)
+}
+
+// RandomChip wires randomly generated cores into a random feed-forward
+// topology: the first core's inputs come from chip pins; later cores draw
+// width-matching inputs from earlier cores' outputs or fresh pins; unused
+// final outputs become chip POs. Some outputs deliberately stay
+// unobservable so the scheduler's system-level test-mux fallback is
+// exercised. The result validates and is ready for the full SOCET flow.
+func RandomChip(p ChipParams) *soc.Chip {
+	r := &rng{s: p.Seed*0x9E3779B9 + 77}
+	if p.Cores == 0 {
+		p.Cores = 2 + r.intn(3)
+	}
+	ch := &soc.Chip{Name: fmt.Sprintf("chip%04x", p.Seed&0xffff)}
+
+	type outPort struct {
+		core  string
+		port  rtl.Port
+		taken bool
+	}
+	var avail []*outPort
+
+	piCount, poCount := 0, 0
+	newPI := func(w int) string {
+		name := fmt.Sprintf("PI%d", piCount)
+		piCount++
+		ch.PIs = append(ch.PIs, soc.Pin{Name: name, Width: w})
+		return name
+	}
+	newPO := func(w int) string {
+		name := fmt.Sprintf("PO%d", poCount)
+		poCount++
+		ch.POs = append(ch.POs, soc.Pin{Name: name, Width: w})
+		return name
+	}
+
+	for i := 0; i < p.Cores; i++ {
+		c := Random(Params{Seed: p.Seed*131 + uint64(i)})
+		// Core names must be unique chip-wide.
+		c.Name = fmt.Sprintf("C%d_%s", i, c.Name)
+		sc := &soc.Core{Name: c.Name, RTL: c}
+		ch.Cores = append(ch.Cores, sc)
+		for _, in := range c.Inputs() {
+			var src *outPort
+			if i > 0 && r.intn(10) < 6 {
+				for tries := 0; tries < 8; tries++ {
+					cand := avail[r.intn(len(avail))]
+					if cand.port.Width == in.Width && !cand.taken {
+						src = cand
+						break
+					}
+				}
+			}
+			if src != nil {
+				src.taken = true
+				ch.Nets = append(ch.Nets, soc.Net{
+					FromCore: src.core, FromPort: src.port.Name,
+					ToCore: c.Name, ToPort: in.Name,
+				})
+			} else {
+				ch.Nets = append(ch.Nets, soc.Net{
+					FromPort: newPI(in.Width),
+					ToCore:   c.Name, ToPort: in.Name,
+				})
+			}
+		}
+		for _, out := range c.Outputs() {
+			avail = append(avail, &outPort{core: c.Name, port: out})
+		}
+	}
+	// Terminal outputs: untaken outputs of the last core always reach POs
+	// (the chip must be observable somewhere); earlier cores' spare
+	// outputs become POs with probability 1/2, else stay unobservable.
+	last := ch.Cores[len(ch.Cores)-1].Name
+	for _, op := range avail {
+		if op.taken {
+			continue
+		}
+		if op.core == last || r.intn(2) == 0 {
+			ch.Nets = append(ch.Nets, soc.Net{
+				FromCore: op.core, FromPort: op.port.Name,
+				ToPort: newPO(op.port.Width),
+			})
+		}
+	}
+	if len(ch.POs) == 0 {
+		// Degenerate corner: everything consumed internally; observe the
+		// last core's first output anyway.
+		c := ch.Cores[len(ch.Cores)-1]
+		out := c.RTL.Outputs()[0]
+		ch.Nets = append(ch.Nets, soc.Net{FromCore: c.Name, FromPort: out.Name, ToPort: newPO(out.Width)})
+	}
+	return ch
+}
+
+// ManyChips generates n chips for seeds base..base+n-1.
+func ManyChips(n int, base uint64) []*soc.Chip {
+	var out []*soc.Chip
+	for i := 0; i < n; i++ {
+		out = append(out, RandomChip(ChipParams{Seed: base + uint64(i)}))
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+// Package rtlgen deterministically generates random-but-valid RTL cores
+// for property-based cross-validation of the whole stack: the same core is
+// pushed through HSCAN insertion, transparency analysis, RTL simulation,
+// gate-level synthesis, logic simulation, ATPG and fault simulation, and
+// the independent implementations are checked against each other. Cores
+// use only functional units with defined semantics (no opaque clouds), so
+// the RTL interpreter and the synthesized gate-level netlist must agree
+// bit-for-bit.
+package rtlgen
+
+import (
+	"fmt"
+
+	"repro/internal/rtl"
+)
+
+// Params sizes a generated core. Zero values pick defaults.
+type Params struct {
+	Seed    uint64
+	Regs    int   // number of registers (default 3..8, seed-dependent)
+	Inputs  int   // data input ports (default 2)
+	Outputs int   // data output ports (default 2)
+	Widths  []int // candidate port/register widths (default {4, 8})
+}
+
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// source is a slice-addressable value available during generation.
+type source struct {
+	name  string
+	pin   string
+	width int
+}
+
+func (s source) slice(lo, hi int) string {
+	base := s.name
+	if s.pin != "" {
+		base += "." + s.pin
+	}
+	return fmt.Sprintf("%s[%d:%d]", base, hi, lo)
+}
+
+// Random generates a deterministic core for the given parameters. Widths
+// are drawn from {4, 8}; narrow sinks slice wide sources and wide sinks
+// may be fed piecewise by two narrow sources, so C-split and O-split
+// structures arise naturally.
+func Random(p Params) *rtl.Core {
+	r := &rng{s: p.Seed*2654435761 + 12345}
+	if p.Regs == 0 {
+		p.Regs = 3 + r.intn(6)
+	}
+	if p.Inputs == 0 {
+		p.Inputs = 2
+	}
+	if p.Outputs == 0 {
+		p.Outputs = 2
+	}
+	b := rtl.NewCore(fmt.Sprintf("rand%04x", p.Seed&0xffff))
+
+	widths := p.Widths
+	if len(widths) == 0 {
+		widths = []int{4, 8}
+	}
+	var sources []source
+
+	// Ports. The first input is always 8 bits wide so every sink width
+	// has at least one coverable source (the generator never deadlocks).
+	for i := 0; i < p.Inputs; i++ {
+		w := widths[r.intn(len(widths))]
+		if i == 0 {
+			w = widths[len(widths)-1]
+		}
+		name := fmt.Sprintf("IN%d", i)
+		b.In(name, w)
+		sources = append(sources, source{name, "", w})
+	}
+	type out struct {
+		name  string
+		width int
+	}
+	var outs []out
+	for i := 0; i < p.Outputs; i++ {
+		w := widths[r.intn(len(widths))]
+		name := fmt.Sprintf("OUT%d", i)
+		b.Out(name, w)
+		outs = append(outs, out{name, w})
+	}
+
+	// Registers; their sources may include later registers (sequential
+	// loops are fine), so declare them all first.
+	type regInfo struct {
+		name  string
+		width int
+	}
+	var regs []regInfo
+	for i := 0; i < p.Regs; i++ {
+		w := widths[r.intn(len(widths))]
+		name := fmt.Sprintf("R%d", i)
+		b.Reg(name, w)
+		regs = append(regs, regInfo{name, w})
+		sources = append(sources, source{name, "q", w})
+	}
+
+	// pickSrc returns a source slice expression of exactly width w,
+	// preferring earlier sources for connectivity toward the inputs.
+	pickSrc := func(w int, bias int) (source, int) {
+		for tries := 0; tries < 16; tries++ {
+			s := sources[r.intn(len(sources))]
+			if s.width >= w {
+				lo := 0
+				if s.width > w && r.intn(2) == 0 {
+					lo = s.width - w
+				}
+				return s, lo
+			}
+		}
+		// Fall back to the first wide-enough source (IN ports are wide
+		// often enough in practice; widen the search deterministically).
+		for _, s := range sources {
+			if s.width >= w {
+				return s, 0
+			}
+		}
+		return sources[0], 0 // give up; caller handles width mismatch
+	}
+
+	muxCount := 0
+	unitCount := 0
+	// newUnit creates a functional unit of width w fed by random sources
+	// and returns its output expression.
+	newUnit := func(w int) string {
+		ops := []rtl.UnitOp{rtl.OpAdd, rtl.OpXor, rtl.OpAnd, rtl.OpOr, rtl.OpSub, rtl.OpInc, rtl.OpNot}
+		op := ops[r.intn(len(ops))]
+		name := fmt.Sprintf("U%d", unitCount)
+		unitCount++
+		u := rtl.Unit{Name: name, Op: op, Width: w}
+		b.Unit(u)
+		nIn := 2
+		if op == rtl.OpInc || op == rtl.OpNot {
+			nIn = 1
+		}
+		for k := 0; k < nIn; k++ {
+			s, lo := pickSrc(w, 0)
+			if s.width < w {
+				// no wide-enough source: drive low bits, leave rest tied
+				b.Wire(s.slice(0, s.width-1), fmt.Sprintf("%s.in%d[%d:0]", name, k, s.width-1))
+				continue
+			}
+			b.Wire(s.slice(lo, lo+w-1), fmt.Sprintf("%s.in%d", name, k))
+		}
+		return name + ".out"
+	}
+
+	// driveSink connects a sink pin (reg d or out port) of width w from
+	// either a single source, a 2-to-1 mux, or — for wide sinks — two
+	// narrow halves (a C-split).
+	var driveSink func(sinkExpr string, w int)
+	driveSink = func(sinkExpr string, w int) {
+		switch r.intn(4) {
+		case 0: // direct
+			s, lo := pickSrc(w, 0)
+			if s.width < w {
+				b.Wire(newUnit(w), sinkExpr) // no coverable source: use a unit
+				return
+			}
+			b.Wire(s.slice(lo, lo+w-1), sinkExpr)
+		case 1: // through a mux (data path + unit path)
+			name := fmt.Sprintf("M%d", muxCount)
+			muxCount++
+			b.Mux(name, w, 2)
+			s, lo := pickSrc(w, 0)
+			if s.width >= w {
+				b.Wire(s.slice(lo, lo+w-1), name+".in0")
+			} else {
+				b.Wire(s.slice(0, s.width-1), fmt.Sprintf("%s.in0[%d:0]", name, s.width-1))
+			}
+			b.Wire(newUnit(w), name+".in1")
+			// Select from a 1-bit slice of some source.
+			sel, slo := pickSrc(1, 0)
+			b.Wire(sel.slice(slo, slo), name+".sel")
+			b.Wire(name+".out", sinkExpr)
+		case 2: // unit output (blocks transparency through this sink)
+			b.Wire(newUnit(w), sinkExpr)
+		case 3: // piecewise halves (C-split) when wide enough
+			if w < widths[len(widths)-1] || w < 2 {
+				s, lo := pickSrc(w, 0)
+				if s.width < w {
+					b.Wire(newUnit(w), sinkExpr)
+					return
+				}
+				b.Wire(s.slice(lo, lo+w-1), sinkExpr)
+				return
+			}
+			h := w / 2
+			s1, lo1 := pickSrc(h, 0)
+			s2, lo2 := pickSrc(h, 0)
+			b.Wire(s1.slice(lo1, lo1+h-1), fmt.Sprintf("%s[%d:0]", sinkExpr, h-1))
+			b.Wire(s2.slice(lo2, lo2+h-1), fmt.Sprintf("%s[%d:%d]", sinkExpr, w-1, h))
+		}
+	}
+
+	for _, rg := range regs {
+		driveSink(rg.name+".d", rg.width)
+	}
+	for _, o := range outs {
+		driveSink(o.name, o.width)
+	}
+	return b.MustBuild()
+}
+
+// Many returns cores for seeds 0..n-1, skipping any that fail to build
+// (the generator retries internally, so failures should not occur; the
+// guard keeps property tests robust).
+func Many(n int, base uint64) []*rtl.Core {
+	var out []*rtl.Core
+	for i := 0; i < n; i++ {
+		func() {
+			defer func() { recover() }()
+			out = append(out, Random(Params{Seed: base + uint64(i)}))
+		}()
+	}
+	return out
+}

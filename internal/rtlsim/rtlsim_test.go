@@ -1,0 +1,258 @@
+package rtlsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hscan"
+	"repro/internal/rtl"
+	"repro/internal/systems"
+	"repro/internal/trans"
+)
+
+func TestBasicDatapath(t *testing.T) {
+	c := rtl.NewCore("dp").
+		In("a", 8).In("b", 8).
+		Out("sum", 8).Out("q", 8).
+		Reg("r", 8).
+		Unit(rtl.Unit{Name: "add", Op: rtl.OpAdd, Width: 8}).
+		Wire("a", "add.in0").
+		Wire("b", "add.in1").
+		Wire("add.out", "sum").
+		Wire("a", "r.d").
+		Wire("r.q", "q").
+		MustBuild()
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b uint8) bool {
+		s.SetInput("a", uint64(a))
+		s.SetInput("b", uint64(b))
+		sum, err := s.Output("sum")
+		if err != nil || sum != uint64(a+b) {
+			return false
+		}
+		s.Step()
+		q, err := s.Output("q")
+		return err == nil && q == uint64(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMuxForcing(t *testing.T) {
+	c := rtl.NewCore("mf").
+		In("a", 4).In("b", 4).In("s", 1).
+		Out("z", 4).
+		Mux("m", 4, 2).
+		Wire("a", "m.in0").
+		Wire("b", "m.in1").
+		Wire("s", "m.sel").
+		Wire("m.out", "z").
+		MustBuild()
+	s, _ := New(c)
+	s.SetInput("a", 0x3)
+	s.SetInput("b", 0xC)
+	s.SetInput("s", 0)
+	if z, _ := s.Output("z"); z != 0x3 {
+		t.Fatalf("z = %#x, want a", z)
+	}
+	// Force the select against the functional value.
+	if err := s.ForceMux("m", 1); err != nil {
+		t.Fatal(err)
+	}
+	if z, _ := s.Output("z"); z != 0xC {
+		t.Fatalf("forced z = %#x, want b", z)
+	}
+	s.ForceMux("m", -1)
+	if z, _ := s.Output("z"); z != 0x3 {
+		t.Fatalf("released z = %#x, want a", z)
+	}
+	if err := s.ForceMux("m", 5); err == nil {
+		t.Error("out-of-range select accepted")
+	}
+}
+
+func TestFreezeAndForceLoad(t *testing.T) {
+	c := rtl.NewCore("fz").
+		In("a", 4).CtlIn("en", 1).
+		Out("q", 4).Out("p", 4).
+		RegLd("r", 4).
+		Reg("plain", 4).
+		Wire("a", "r.d").
+		Wire("en", "r.ld").
+		Wire("a", "plain.d").
+		Wire("r.q", "q").
+		Wire("plain.q", "p").
+		MustBuild()
+	s, _ := New(c)
+	s.SetInput("a", 0x5)
+	s.SetInput("en", 0)
+	s.Step()
+	if q, _ := s.Output("q"); q != 0 {
+		t.Fatalf("load-disabled register captured %#x", q)
+	}
+	if p, _ := s.Output("p"); p != 0x5 {
+		t.Fatalf("plain register did not capture: %#x", p)
+	}
+	s.ForceLoad("r", true)
+	s.Step()
+	if q, _ := s.Output("q"); q != 0x5 {
+		t.Fatalf("forced load failed: %#x", q)
+	}
+	// Freeze overrides everything.
+	s.SetInput("a", 0xA)
+	s.Freeze("plain", true)
+	s.Step()
+	if p, _ := s.Output("p"); p != 0x5 {
+		t.Fatalf("frozen register moved: %#x", p)
+	}
+	s.Freeze("plain", false)
+	s.Step()
+	if p, _ := s.Output("p"); p != 0xA {
+		t.Fatalf("unfrozen register stuck: %#x", p)
+	}
+}
+
+func TestErrorsOnUnknownNames(t *testing.T) {
+	c := rtl.NewCore("err").In("a", 4).Out("z", 4).Reg("r", 4).
+		Wire("a", "r.d").Wire("r.q", "z").MustBuild()
+	s, _ := New(c)
+	if err := s.SetInput("nope", 1); err == nil {
+		t.Error("unknown input accepted")
+	}
+	if err := s.SetReg("nope", 1); err == nil {
+		t.Error("unknown register accepted")
+	}
+	if err := s.ForceMux("nope", 0); err == nil {
+		t.Error("unknown mux accepted")
+	}
+	if err := s.Freeze("nope", true); err == nil {
+		t.Error("unknown register frozen")
+	}
+	if _, err := s.Output("a"); err == nil {
+		t.Error("input read as output")
+	}
+}
+
+// rcgOf builds the scan-annotated RCG for a core.
+func rcgOf(t *testing.T, c *rtl.Core) *trans.RCG {
+	t.Helper()
+	scan, err := hscan.Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := trans.Build(c, scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// Every physical RCG edge of every system core must move data exactly as
+// the transparency analysis claims — this validates the foundation of the
+// whole method against the RTL semantics.
+func TestVerifyAllEdgesOnSystemCores(t *testing.T) {
+	for _, build := range []func() *rtl.Core{
+		systems.CPU, systems.Preprocessor, systems.Display,
+		systems.Graphics, systems.GCD, systems.X25,
+	} {
+		c := build()
+		g := rcgOf(t, c)
+		verified, skipped, err := VerifyAllEdges(c, g, 0xfeed)
+		if err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+			continue
+		}
+		if verified == 0 {
+			t.Errorf("%s: no physical edges verified", c.Name)
+		}
+		t.Logf("%s: %d edges verified, %d created edges skipped", c.Name, verified, skipped)
+	}
+}
+
+// The Section 3 flagship property, end to end: the PREPROCESSOR's
+// five-stage NUM -> DB path really delivers a value in five cycles.
+func TestPreprocessorNUMToDBChain(t *testing.T) {
+	c := systems.Preprocessor()
+	g := rcgOf(t, c)
+	vs, err := trans.Versions(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vs[0]
+	chain := LinearChain(v.RCG, v, "DB")
+	if chain == nil {
+		t.Fatal("NUM->DB justification is not chain-shaped")
+	}
+	// Five register stages (SYNC FILT WIDTH THRESH OUTREG).
+	regs := 0
+	for _, e := range chain {
+		if v.RCG.Nodes[e.To].Kind == trans.NodeReg {
+			regs++
+		}
+	}
+	if regs != 5 {
+		t.Errorf("chain has %d register stages, want 5", regs)
+	}
+	if err := VerifyChain(c, v.RCG, chain, 0xabcd); err != nil {
+		t.Errorf("chain verification failed: %v", err)
+	}
+}
+
+// Property: arbitrary values survive the NUM -> DB chain.
+func TestChainLosslessProperty(t *testing.T) {
+	c := systems.Preprocessor()
+	g := rcgOf(t, c)
+	vs, err := trans.Versions(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := LinearChain(vs[0].RCG, vs[0], "DB")
+	if chain == nil {
+		t.Skip("not chain shaped")
+	}
+	forced := map[string]int{}
+	for _, e := range chain {
+		for _, h := range e.Hops {
+			forced[h.Mux] = h.Sel
+		}
+	}
+	f := func(v uint8) bool {
+		s, err := New(c)
+		if err != nil {
+			return false
+		}
+		for m, sel := range forced {
+			s.ForceMux(m, sel)
+		}
+		s.SetInput("NUM", uint64(v))
+		for i := 0; i < 5; i++ {
+			s.Step()
+		}
+		db, err := s.Output("DB")
+		return err == nil && db == uint64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloudDeterminism(t *testing.T) {
+	c := systems.GCD()
+	s1, _ := New(c)
+	s2, _ := New(c)
+	for i := 0; i < 8; i++ {
+		s1.SetInput("Xin", uint64(i*37))
+		s2.SetInput("Xin", uint64(i*37))
+		s1.Step()
+		s2.Step()
+	}
+	for _, r := range c.Regs {
+		if s1.Reg(r.Name) != s2.Reg(r.Name) {
+			t.Fatalf("nondeterministic register %s", r.Name)
+		}
+	}
+}

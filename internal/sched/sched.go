@@ -1,0 +1,217 @@
+// Package sched builds the chip-level test schedule of Sections 3 and 5.1:
+// for each embedded core it finds reservation-aware justification paths
+// from chip inputs to every core input and propagation paths from every
+// core output to chip outputs, inserting system-level test multiplexers
+// where no path exists, and computes the test application time
+//
+//	TAT(core) = HSCANvectors × max(J, 1) + tail
+//
+// where J is the per-vector justification period (the DISPLAY's 525×9+3 in
+// Section 3) and tail flushes the final response. The global TAT is the
+// sum over cores, with memory BIST running concurrently.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ccg"
+	"repro/internal/cell"
+	"repro/internal/soc"
+)
+
+// PortSchedule is the path serving one core port.
+type PortSchedule struct {
+	Port     string
+	Path     *ccg.PathResult
+	Arrival  int
+	AddedMux bool // a system-level test mux had to be inserted
+}
+
+// CoreSchedule is the test schedule of one core.
+type CoreSchedule struct {
+	Core         string
+	Inputs       []PortSchedule
+	Outputs      []PortSchedule
+	Period       int // J: cycles to deliver one vector to all inputs
+	ObserveLat   int // worst output-to-PO propagation latency
+	Tail         int
+	HSCANVectors int
+	TAT          int
+}
+
+// Result is the chip-wide schedule.
+type Result struct {
+	Cores    []*CoreSchedule
+	MuxArea  cell.Area // system-level test multiplexers added
+	TotalTAT int       // sum over cores (sequential testing)
+}
+
+// CoreTAT returns the named core's TAT, or -1.
+func (r *Result) CoreTAT(core string) int {
+	for _, cs := range r.Cores {
+		if cs.Core == core {
+			return cs.TAT
+		}
+	}
+	return -1
+}
+
+// Schedule computes the chip test schedule on a freshly built CCG. The
+// graph is mutated: system-level test-mux edges are added where needed
+// (the PREPROCESSOR's Address output in Figure 9 gets exactly such a mux).
+func Schedule(ch *soc.Chip, g *ccg.Graph) (*Result, error) {
+	res := &Result{}
+	for _, c := range ch.TestableCores() {
+		cs, err := scheduleCore(ch, g, c, res)
+		if err != nil {
+			return nil, err
+		}
+		res.Cores = append(res.Cores, cs)
+		res.TotalTAT += cs.TAT
+	}
+	return res, nil
+}
+
+func scheduleCore(ch *soc.Chip, g *ccg.Graph, c *soc.Core, res *Result) (*CoreSchedule, error) {
+	cs := &CoreSchedule{Core: c.Name}
+	resv := ccg.Reservations{}
+	pis := g.PINodes()
+
+	// Justify every core input from the chip PIs, reserving edges so
+	// shared transparency logic serializes across inputs (Section 5.1).
+	inPorts := inputPortNames(c)
+	for _, port := range inPorts {
+		target, ok := g.NodeIndex(c.Name + "." + port)
+		if !ok {
+			return nil, fmt.Errorf("sched: missing CCG node %s.%s", c.Name, port)
+		}
+		p := g.ShortestPath(pis, target, resv)
+		added := false
+		if p == nil {
+			// No existing path: connect the input to a PI with a
+			// system-level test multiplexer and retry.
+			pi := bestPI(ch, g, port)
+			g.AddTestMux(pi, target)
+			width := portWidth(c, port)
+			res.MuxArea.Add(cell.Mux2, width)
+			added = true
+			p = g.ShortestPath(pis, target, resv)
+			if p == nil {
+				return nil, fmt.Errorf("sched: %s.%s unreachable even with a test mux", c.Name, port)
+			}
+		}
+		g.ReservePath(p, resv)
+		cs.Inputs = append(cs.Inputs, PortSchedule{Port: port, Path: p, Arrival: p.Arrival, AddedMux: added})
+		if p.Arrival > cs.Period {
+			cs.Period = p.Arrival
+		}
+	}
+	if cs.Period < 1 {
+		cs.Period = 1
+	}
+
+	// Propagate every core output to a chip PO. Responses stream while the
+	// next vector is justified, so observation uses fresh reservations.
+	oresv := ccg.Reservations{}
+	for _, port := range outputPortNames(c) {
+		source, ok := g.NodeIndex(c.Name + "." + port)
+		if !ok {
+			return nil, fmt.Errorf("sched: missing CCG node %s.%s", c.Name, port)
+		}
+		p := bestPathToPO(g, source, oresv)
+		added := false
+		if p == nil {
+			po := bestPO(ch, g, port)
+			g.AddTestMux(source, po)
+			width := portWidth(c, port)
+			res.MuxArea.Add(cell.Mux2, width)
+			added = true
+			p = bestPathToPO(g, source, oresv)
+			if p == nil {
+				return nil, fmt.Errorf("sched: %s.%s unobservable even with a test mux", c.Name, port)
+			}
+		}
+		g.ReservePath(p, oresv)
+		cs.Outputs = append(cs.Outputs, PortSchedule{Port: port, Path: p, Arrival: p.Arrival, AddedMux: added})
+		if p.Arrival > cs.ObserveLat {
+			cs.ObserveLat = p.Arrival
+		}
+	}
+
+	depth := 0
+	if c.Scan != nil {
+		depth = c.Scan.MaxDepth
+		cs.HSCANVectors = c.Scan.VectorsFor(c.Vectors)
+	} else {
+		cs.HSCANVectors = c.Vectors
+	}
+	tailScan := depth - 1
+	if tailScan < 0 {
+		tailScan = 0
+	}
+	cs.Tail = cs.ObserveLat + tailScan
+	cs.TAT = cs.HSCANVectors*cs.Period + cs.Tail
+	return cs, nil
+}
+
+// bestPathToPO runs one Dijkstra from source and picks the earliest PO.
+func bestPathToPO(g *ccg.Graph, source int, resv ccg.Reservations) *ccg.PathResult {
+	var best *ccg.PathResult
+	for _, po := range g.PONodes() {
+		p := g.ShortestPath([]int{source}, po, resv)
+		if p != nil && (best == nil || p.Arrival < best.Arrival) {
+			best = p
+		}
+	}
+	return best
+}
+
+// bestPI picks the PI node for a created test mux: widest pin,
+// deterministic by name.
+func bestPI(ch *soc.Chip, g *ccg.Graph, port string) int {
+	bestName, bestW := "", -1
+	for _, p := range ch.PIs {
+		if p.Width > bestW || (p.Width == bestW && p.Name < bestName) {
+			bestName, bestW = p.Name, p.Width
+		}
+	}
+	i, _ := g.NodeIndex(bestName)
+	return i
+}
+
+func bestPO(ch *soc.Chip, g *ccg.Graph, port string) int {
+	bestName, bestW := "", -1
+	for _, p := range ch.POs {
+		if p.Width > bestW || (p.Width == bestW && p.Name < bestName) {
+			bestName, bestW = p.Name, p.Width
+		}
+	}
+	i, _ := g.NodeIndex(bestName)
+	return i
+}
+
+func inputPortNames(c *soc.Core) []string {
+	var out []string
+	for _, p := range c.RTL.Inputs() {
+		out = append(out, p.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func outputPortNames(c *soc.Core) []string {
+	var out []string
+	for _, p := range c.RTL.Outputs() {
+		out = append(out, p.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func portWidth(c *soc.Core, port string) int {
+	if p, ok := c.RTL.PortByName(port); ok {
+		return p.Width
+	}
+	return 1
+}

@@ -1,0 +1,158 @@
+// Package soc models a core-based system-on-chip: embedded cores, chip
+// pins, and the interconnect between them (the paper's Figure 2 barcode
+// system is the running example). It carries per-core DFT state filled in
+// by the SOCET flow: HSCAN insertion results, the transparency version
+// ladder, the selected version, and the core's precomputed test set size.
+package soc
+
+import (
+	"fmt"
+
+	"repro/internal/hscan"
+	"repro/internal/rtl"
+	"repro/internal/trans"
+)
+
+// Core is one embedded core plus its DFT state.
+type Core struct {
+	Name   string
+	RTL    *rtl.Core
+	Memory bool // memory cores use BIST and stay out of the CCG (Section 5)
+
+	// Filled by the SOCET flow.
+	Scan     *hscan.Result
+	Versions []*trans.Version
+	Selected int // index into Versions of the version in use
+	Vectors  int // combinational ATPG vector count for the core's test set
+}
+
+// Version returns the currently selected transparency version (nil when
+// the flow has not run).
+func (c *Core) Version() *trans.Version {
+	if c.Selected < 0 || c.Selected >= len(c.Versions) {
+		return nil
+	}
+	return c.Versions[c.Selected]
+}
+
+// Pin is a chip-level primary input or output.
+type Pin struct {
+	Name  string
+	Width int
+}
+
+// Net connects a driver to a sink at the chip level. An empty FromCore
+// means the driver is the chip pin FromPort; an empty ToCore means the
+// sink is the chip pin ToPort.
+type Net struct {
+	FromCore, FromPort string
+	ToCore, ToPort     string
+}
+
+func (n Net) String() string {
+	f := n.FromPort
+	if n.FromCore != "" {
+		f = n.FromCore + "." + n.FromPort
+	}
+	t := n.ToPort
+	if n.ToCore != "" {
+		t = n.ToCore + "." + n.ToPort
+	}
+	return f + " -> " + t
+}
+
+// Chip is the system-on-chip.
+type Chip struct {
+	Name  string
+	Cores []*Core
+	PIs   []Pin
+	POs   []Pin
+	Nets  []Net
+}
+
+// CoreByName returns the named core.
+func (ch *Chip) CoreByName(name string) (*Core, bool) {
+	for _, c := range ch.Cores {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// TestableCores returns the non-memory cores in declaration order.
+func (ch *Chip) TestableCores() []*Core {
+	var out []*Core
+	for _, c := range ch.Cores {
+		if !c.Memory {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Validate checks that nets reference existing pins and ports with
+// matching directions.
+func (ch *Chip) Validate() error {
+	pi := map[string]Pin{}
+	for _, p := range ch.PIs {
+		pi[p.Name] = p
+	}
+	po := map[string]Pin{}
+	for _, p := range ch.POs {
+		po[p.Name] = p
+	}
+	for _, n := range ch.Nets {
+		if n.FromCore == "" {
+			if _, ok := pi[n.FromPort]; !ok {
+				return fmt.Errorf("soc: chip %s: net %s: unknown PI %q", ch.Name, n, n.FromPort)
+			}
+		} else {
+			c, ok := ch.CoreByName(n.FromCore)
+			if !ok {
+				return fmt.Errorf("soc: chip %s: net %s: unknown core %q", ch.Name, n, n.FromCore)
+			}
+			p, ok := c.RTL.PortByName(n.FromPort)
+			if !ok || p.Dir != rtl.Out {
+				return fmt.Errorf("soc: chip %s: net %s: %s.%s is not an output port", ch.Name, n, n.FromCore, n.FromPort)
+			}
+		}
+		if n.ToCore == "" {
+			if _, ok := po[n.ToPort]; !ok {
+				return fmt.Errorf("soc: chip %s: net %s: unknown PO %q", ch.Name, n, n.ToPort)
+			}
+		} else {
+			c, ok := ch.CoreByName(n.ToCore)
+			if !ok {
+				return fmt.Errorf("soc: chip %s: net %s: unknown core %q", ch.Name, n, n.ToCore)
+			}
+			p, ok := c.RTL.PortByName(n.ToPort)
+			if !ok || p.Dir != rtl.In {
+				return fmt.Errorf("soc: chip %s: net %s: %s.%s is not an input port", ch.Name, n, n.ToCore, n.ToPort)
+			}
+		}
+	}
+	return nil
+}
+
+// DriversOf returns the nets sinking at the given core input port.
+func (ch *Chip) DriversOf(core, port string) []Net {
+	var out []Net
+	for _, n := range ch.Nets {
+		if n.ToCore == core && n.ToPort == port {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// SinksOf returns the nets driven by the given core output port.
+func (ch *Chip) SinksOf(core, port string) []Net {
+	var out []Net
+	for _, n := range ch.Nets {
+		if n.FromCore == core && n.FromPort == port {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package soc_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rtl"
+	"repro/internal/soc"
+	"repro/internal/systems"
+)
+
+func tinyCore(name string) *rtl.Core {
+	return rtl.NewCore(name).
+		In("A", 4).
+		Out("Z", 4).
+		Reg("R", 4).
+		Wire("A", "R.d").
+		Wire("R.q", "Z").
+		MustBuild()
+}
+
+func TestValidateGoodChip(t *testing.T) {
+	ch := &soc.Chip{
+		Name:  "good",
+		Cores: []*soc.Core{{Name: "C1", RTL: tinyCore("C1")}},
+		PIs:   []soc.Pin{{Name: "IN", Width: 4}},
+		POs:   []soc.Pin{{Name: "OUT", Width: 4}},
+		Nets: []soc.Net{
+			{FromPort: "IN", ToCore: "C1", ToPort: "A"},
+			{FromCore: "C1", FromPort: "Z", ToPort: "OUT"},
+		},
+	}
+	if err := ch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadNets(t *testing.T) {
+	base := func() *soc.Chip {
+		return &soc.Chip{
+			Name:  "bad",
+			Cores: []*soc.Core{{Name: "C1", RTL: tinyCore("C1")}},
+			PIs:   []soc.Pin{{Name: "IN", Width: 4}},
+			POs:   []soc.Pin{{Name: "OUT", Width: 4}},
+		}
+	}
+	cases := []struct {
+		name string
+		net  soc.Net
+		want string
+	}{
+		{"unknown PI", soc.Net{FromPort: "NOPE", ToCore: "C1", ToPort: "A"}, "unknown PI"},
+		{"unknown core", soc.Net{FromPort: "IN", ToCore: "NOPE", ToPort: "A"}, "unknown core"},
+		{"wrong direction", soc.Net{FromCore: "C1", FromPort: "A", ToPort: "OUT"}, "not an output"},
+		{"unknown PO", soc.Net{FromCore: "C1", FromPort: "Z", ToPort: "NOPE"}, "unknown PO"},
+		{"input as sink of PO net", soc.Net{FromPort: "IN", ToCore: "C1", ToPort: "Z"}, "not an input"},
+	}
+	for _, tc := range cases {
+		ch := base()
+		ch.Nets = []soc.Net{tc.net}
+		err := ch.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want contains %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestTestableCoresExcludesMemory(t *testing.T) {
+	ch := systems.System1()
+	if got := len(ch.TestableCores()); got != 3 {
+		t.Errorf("testable cores = %d, want 3", got)
+	}
+	names := map[string]bool{}
+	for _, c := range ch.TestableCores() {
+		names[c.Name] = true
+	}
+	if names["RAM"] || names["ROM"] {
+		t.Error("memory cores leaked into TestableCores")
+	}
+}
+
+func TestDriversAndSinks(t *testing.T) {
+	ch := systems.System1()
+	drivers := ch.DriversOf("CPU", "Data")
+	// The CPU data input sits on a shared bus: PREPROCESSOR.DB and
+	// RAM.Dout both drive it.
+	if len(drivers) != 2 {
+		t.Errorf("CPU.Data has %d drivers, want 2 (shared bus)", len(drivers))
+	}
+	sinks := ch.SinksOf("PREPROCESSOR", "DB")
+	if len(sinks) != 2 {
+		t.Errorf("PREPROCESSOR.DB feeds %d sinks, want 2 (CPU + DISPLAY)", len(sinks))
+	}
+	if len(ch.SinksOf("NOPE", "X")) != 0 {
+		t.Error("unknown core has sinks")
+	}
+}
+
+func TestVersionAccessor(t *testing.T) {
+	c := &soc.Core{Name: "x", RTL: tinyCore("x")}
+	if c.Version() != nil {
+		t.Error("unprepared core has a version")
+	}
+	c.Selected = 5
+	if c.Version() != nil {
+		t.Error("out-of-range selection returned a version")
+	}
+}
+
+func TestNetString(t *testing.T) {
+	n := soc.Net{FromCore: "A", FromPort: "o", ToCore: "B", ToPort: "i"}
+	if n.String() != "A.o -> B.i" {
+		t.Errorf("net string = %q", n.String())
+	}
+	pin := soc.Net{FromPort: "PI", ToCore: "B", ToPort: "i"}
+	if pin.String() != "PI -> B.i" {
+		t.Errorf("pin net string = %q", pin.String())
+	}
+}

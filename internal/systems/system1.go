@@ -1,0 +1,368 @@
+// Package systems provides the two example SoCs of the paper's evaluation
+// (Section 6): System 1, the barcode-scanning embedded system of Figure 2
+// (CPU, PREPROCESSOR, DISPLAY, RAM, ROM), and System 2 (graphics
+// processor, GCD, X25 protocol core). The RTL is synthetic but built to
+// match the published structure: the CPU follows Figures 3 and 7 (IR
+// O-split, accumulator C-split, mux M offering the Data->MAR-offset
+// shortcut that Version 2 exploits), the DISPLAY has 66 flip-flops and 20
+// internal input bits, and the interconnect matches the CCG of Figure 9.
+package systems
+
+import (
+	"repro/internal/rtl"
+	"repro/internal/soc"
+)
+
+// CPU builds the Navabi-style 8-bit accumulator CPU of Figure 3. The
+// 12-bit address is exported as AddrLo(7:0)/AddrHi(11:8), matching the
+// split Address nodes of Figures 7 and 9.
+func CPU() *rtl.Core {
+	return rtl.NewCore("CPU").
+		In("Data", 8).
+		CtlIn("Reset", 1).
+		CtlIn("Interrupt", 1).
+		Out("AddrLo", 8).
+		Out("AddrHi", 4).
+		CtlOut("Read", 1).
+		CtlOut("Write", 1).
+		// Datapath registers (Figure 3).
+		Reg("IR", 8).     // instruction register
+		RegLd("SR", 8).   // status register (load-enable: freezes cheaply)
+		Reg("AC", 8).     // accumulator (C-split in the RCG)
+		Reg("DBUF", 8).   // data buffer
+		Reg("PCPG", 4).   // program counter page
+		Reg("PCOFF", 8).  // program counter offset
+		Reg("MARPG", 4).  // memory address register page
+		Reg("MAROFF", 8). // memory address register offset
+		Reg("CREG", 2).   // control outputs register (read/write strobes)
+		// Multiplexers. M is the mux of Figure 3 whose select-line logic
+		// gives Version 2 its one-cycle Data -> Address(7:0) shortcut.
+		Mux("M1", 8, 2).   // IR source: Data / ALU
+		Mux("MSR", 8, 2).  // SR source: IR / ALU flags
+		Mux("MACL", 4, 2). // AC low nibble: SR / ALU
+		Mux("MACH", 4, 2). // AC high nibble: IR / ALU
+		Mux("MDB", 8, 2).  // DBUF source: AC / Data bus loopback
+		Mux("MPCO", 8, 2). // PC offset: DBUF (branch target) / incremented
+		Mux("MPCP", 4, 2). // PC page: IR / incremented
+		Mux("M", 8, 2).    // MAR offset: PC offset / Data  <- mux M
+		Mux("MMP", 4, 2).  // MAR page: IR / PC page
+		Mux("MC0", 1, 2).  // read strobe: control logic / Reset bypass
+		Mux("MC1", 1, 2).  // write strobe: control logic / Interrupt bypass
+		// Functional units.
+		Unit(rtl.Unit{Name: "alu", Op: rtl.OpAlu, Width: 8, AluOps: 4}).
+		Unit(rtl.Unit{Name: "incoff", Op: rtl.OpInc, Width: 8}).
+		Unit(rtl.Unit{Name: "incpg", Op: rtl.OpInc, Width: 4}).
+		Cloud("ctl", 2, 8, 16, 2865). // instruction decoder / sequencer
+		// IR.
+		Wire("Data", "M1.in0").
+		Wire("alu.out", "M1.in1").
+		Wire("M1.out", "IR.d").
+		// SR.
+		Wire("IR.q", "MSR.in0").
+		Wire("alu.out", "MSR.in1").
+		Wire("MSR.out", "SR.d").
+		// AC: C-split across MACL/MACH.
+		Wire("SR.q[3:0]", "MACL.in0").
+		Wire("alu.out[3:0]", "MACL.in1").
+		Wire("MACL.out", "AC.d[3:0]").
+		Wire("IR.q[7:4]", "MACH.in0").
+		Wire("alu.out[7:4]", "MACH.in1").
+		Wire("MACH.out", "AC.d[7:4]").
+		// DBUF.
+		Wire("AC.q", "MDB.in0").
+		Wire("Data", "MDB.in1").
+		Wire("MDB.out", "DBUF.d").
+		// PC.
+		Wire("DBUF.q", "MPCO.in0").
+		Wire("incoff.out", "MPCO.in1").
+		Wire("MPCO.out", "PCOFF.d").
+		Wire("PCOFF.q", "incoff.in0").
+		Wire("DBUF.q[3:0]", "MPCP.in0"). // branch page from the data buffer
+		Wire("incpg.out", "MPCP.in1").
+		Wire("MPCP.out", "PCPG.d").
+		Wire("PCPG.q", "incpg.in0").
+		// MAR (mux M between PC offset and Data).
+		Wire("PCOFF.q", "M.in0").
+		Wire("Data", "M.in1").
+		Wire("M.out", "MAROFF.d").
+		Wire("IR.q[3:0]", "MMP.in0").
+		Wire("PCPG.q", "MMP.in1").
+		Wire("MMP.out", "MARPG.d").
+		// Address outputs.
+		Wire("MAROFF.q", "AddrLo").
+		Wire("MARPG.q", "AddrHi").
+		// Control strobes: single-bit bypass chains (Reset->Read and
+		// Interrupt->Write, Section 4's control-signal treatment).
+		Wire("ctl.out[0]", "MC0.in0").
+		Wire("Reset", "MC0.in1").
+		Wire("MC0.out", "CREG.d[0]").
+		Wire("ctl.out[1]", "MC1.in0").
+		Wire("Interrupt", "MC1.in1").
+		Wire("MC1.out", "CREG.d[1]").
+		Wire("CREG.q[0]", "Read").
+		Wire("CREG.q[1]", "Write").
+		// Control cloud and ALU plumbing.
+		Wire("IR.q", "ctl.in0").
+		Wire("SR.q", "ctl.in1").
+		Wire("ctl.out[2]", "M1.sel").
+		Wire("ctl.out[3]", "MSR.sel").
+		Wire("ctl.out[4]", "MACL.sel").
+		Wire("ctl.out[5]", "MACH.sel").
+		Wire("ctl.out[6]", "MDB.sel").
+		Wire("ctl.out[7]", "MPCO.sel").
+		Wire("ctl.out[8]", "MPCP.sel").
+		Wire("ctl.out[9]", "M.sel").
+		Wire("ctl.out[10]", "MMP.sel").
+		Wire("ctl.out[11]", "SR.ld").
+		Wire("ctl.out[13:12]", "alu.op").
+		Wire("ctl.out[14]", "MC0.sel").
+		Wire("ctl.out[15]", "MC1.sel").
+		Wire("AC.q", "alu.in0").
+		Wire("DBUF.q", "alu.in1").
+		MustBuild()
+}
+
+// Preprocessor builds the barcode PREPROCESSOR: a five-stage measurement
+// pipeline from NUM to DB (Version 1's five-cycle latency in Figure 8),
+// an address counter, and an end-of-conversion strobe reachable from
+// Reset in two cycles (the (Reset, Eoc) edge of Section 5.2).
+func Preprocessor() *rtl.Core {
+	return rtl.NewCore("PREPROCESSOR").
+		In("NUM", 8).
+		In("Video", 1).
+		CtlIn("Reset", 1).
+		Out("DB", 8).
+		Out("Address", 12).
+		CtlOut("Eoc", 1).
+		Reg("SYNC", 8).   // video synchronizer / test data entry
+		Reg("FILT", 8).   // glitch filter
+		Reg("WIDTH", 8).  // bar width counter
+		Reg("THRESH", 8). // black/white threshold compare stage
+		Reg("OUTREG", 8). // output holding register
+		Reg("ADDRCNT", 12).
+		Reg("EOCREG", 1).
+		Mux("MS", 8, 2).
+		Mux("MF", 8, 2).
+		Mux("MW", 8, 2).
+		Mux("MT", 8, 2).
+		Mux("MO", 8, 2).
+		Mux("MA", 12, 2).
+		Mux("ME", 1, 2).
+		Unit(rtl.Unit{Name: "incw", Op: rtl.OpInc, Width: 8}).
+		Unit(rtl.Unit{Name: "inca", Op: rtl.OpInc, Width: 12}).
+		Cloud("pctl", 3, 8, 8, 3065).
+		// NUM -> SYNC -> FILT -> WIDTH -> THRESH -> OUTREG -> DB pipeline.
+		Wire("NUM", "MS.in0").
+		Wire("pctl.out[7:0]", "MS.in1").
+		Wire("MS.out", "SYNC.d").
+		Wire("SYNC.q", "MF.in0").
+		Wire("incw.out", "MF.in1").
+		Wire("MF.out", "FILT.d").
+		Wire("FILT.q", "MW.in0").
+		Wire("incw.out", "MW.in1").
+		Wire("MW.out", "WIDTH.d").
+		Wire("WIDTH.q", "MT.in0").
+		Wire("incw.out", "MT.in1").
+		Wire("MT.out", "THRESH.d").
+		Wire("THRESH.q", "MO.in0").
+		Wire("incw.out", "MO.in1").
+		Wire("MO.out", "OUTREG.d").
+		Wire("OUTREG.q", "DB").
+		// Address counter: low byte loadable from SYNC (NUM -> Address in
+		// two cycles), otherwise incrementing.
+		Wire("inca.out", "MA.in0").
+		Wire("SYNC.q", "MA.in1[7:0]").
+		Wire("SYNC.q[3:0]", "MA.in1[11:8]").
+		Wire("MA.out", "ADDRCNT.d").
+		Wire("ADDRCNT.q", "inca.in0").
+		Wire("ADDRCNT.q", "Address").
+		// End-of-conversion strobe with Reset bypass.
+		Wire("pctl.out[0]", "ME.in0"). // reuse of cloud bit as EOC logic
+		Wire("Reset", "ME.in1").
+		Wire("ME.out", "EOCREG.d").
+		Wire("EOCREG.q", "Eoc").
+		// Control plumbing.
+		Wire("WIDTH.q", "incw.in0").
+		Wire("SYNC.q", "pctl.in0").
+		Wire("THRESH.q", "pctl.in1").
+		Wire("Video", "pctl.in2[0]").
+		Wire("pctl.out[1]", "MS.sel").
+		Wire("pctl.out[2]", "MF.sel").
+		Wire("pctl.out[3]", "MW.sel").
+		Wire("pctl.out[4]", "MT.sel").
+		Wire("pctl.out[5]", "MO.sel").
+		Wire("pctl.out[6]", "MA.sel").
+		Wire("pctl.out[7]", "ME.sel").
+		MustBuild()
+}
+
+// Display builds the DISPLAY core: 66 flip-flops and 20 internal input
+// bits (A(11:0) plus D(7:0)), as published in Section 3. Six seven-segment
+// decoder clouds drive the output ports.
+func Display() *rtl.Core {
+	b := rtl.NewCore("DISPLAY").
+		In("ALo", 8).
+		In("AHi", 4).
+		In("D", 8).
+		Reg("BCDREG", 8).   // BCD digits from the CPU
+		Reg("ADDRREG", 12). // memory-mapped port address
+		Reg("LATCH", 4).    // digit strobe latch
+		DecodeCloud("addrdec", 1, 12, 4, 560)
+	for i := 1; i <= 6; i++ {
+		seg := segName(i)
+		b.Out("PORT"+digit(i), 7).
+			RegLd(seg, 7). // loads only on its port address (match_i)
+			Mux("MX"+digit(i), 7, 2).
+			DecodeCloud("dec"+digit(i), 2, 8, 7, 315).
+			Unit(rtl.Unit{Name: "match" + digit(i), Op: rtl.OpEq, Width: 12}).
+			Const("paddr"+digit(i), 12, uint64(0xA00+i))
+	}
+	b.
+		Wire("D", "BCDREG.d").
+		Wire("ALo", "ADDRREG.d[7:0]").
+		Wire("AHi", "ADDRREG.d[11:8]").
+		Wire("ADDRREG.q", "addrdec.in0").
+		Wire("addrdec.out", "LATCH.d").
+		// Digit decoders: BCD value + strobe state -> segment pattern.
+		Wire("BCDREG.q", "dec1.in0").
+		Wire("BCDREG.q", "dec2.in0").
+		Wire("BCDREG.q", "dec3.in0").
+		Wire("BCDREG.q", "dec4.in0").
+		Wire("BCDREG.q", "dec5.in0").
+		Wire("BCDREG.q", "dec6.in0").
+		Wire("LATCH.q", "dec1.in1[3:0]").
+		Wire("LATCH.q", "dec2.in1[3:0]").
+		Wire("LATCH.q", "dec3.in1[3:0]").
+		Wire("LATCH.q", "dec4.in1[3:0]").
+		Wire("LATCH.q", "dec5.in1[3:0]").
+		Wire("LATCH.q", "dec6.in1[3:0]").
+		// Segment registers: decoder value or scan-chain neighbour.
+		Wire("dec1.out", "MX1.in0").
+		Wire("BCDREG.q[6:0]", "MX1.in1").
+		Wire("MX1.out", "SEG1.d").
+		Wire("dec2.out", "MX2.in0").
+		Wire("SEG1.q", "MX2.in1").
+		Wire("MX2.out", "SEG2.d").
+		Wire("dec3.out", "MX3.in0").
+		Wire("ADDRREG.q[6:0]", "MX3.in1").
+		Wire("MX3.out", "SEG3.d").
+		Wire("dec4.out", "MX4.in0").
+		Wire("SEG3.q", "MX4.in1").
+		Wire("MX4.out", "SEG4.d").
+		Wire("dec5.out", "MX5.in0").
+		Wire("D[6:0]", "MX5.in1").
+		Wire("MX5.out", "SEG5.d").
+		Wire("dec6.out", "MX6.in0").
+		Wire("SEG5.q", "MX6.in1").
+		Wire("MX6.out", "SEG6.d").
+		// Scan-versus-decode steering comes from the strobe latch state
+		// (independent of the current address, so decoder logic stays
+		// reachable while a port register is being addressed).
+		Wire("LATCH.q[0]", "MX1.sel").
+		Wire("LATCH.q[1]", "MX2.sel").
+		Wire("LATCH.q[2]", "MX3.sel").
+		Wire("LATCH.q[3]", "MX4.sel").
+		Wire("LATCH.q[0]", "MX5.sel").
+		Wire("LATCH.q[1]", "MX6.sel")
+	for i := 1; i <= 6; i++ {
+		b.Wire(segName(i)+".q", "PORT"+digit(i))
+		// Memory-mapped port write strobe: the segment register captures
+		// only when the CPU addresses it (this is what makes the raw chip
+		// nearly untestable without chip-level DFT — Table 3's "Orig."
+		// column).
+		b.Wire("ADDRREG.q", "match"+digit(i)+".in0")
+		b.Wire("paddr"+digit(i)+".out", "match"+digit(i)+".in1")
+		b.Wire("match"+digit(i)+".out", segName(i)+".ld")
+	}
+	return b.MustBuild()
+}
+
+func digit(i int) string { return string(rune('0' + i)) }
+
+func segName(i int) string { return "SEG" + digit(i) }
+
+// RAM is a memory stub: tested by march BIST (internal/bist), excluded
+// from the CCG per Section 5.
+func RAM() *rtl.Core {
+	return rtl.NewCore("RAM").
+		In("Addr", 12).
+		In("Din", 8).
+		CtlIn("WE", 1).
+		Out("Dout", 8).
+		Reg("DOUTREG", 8).
+		Reg("AREG", 12).
+		Cloud("ramdec", 2, 12, 8, 60). // row/column decode stand-in
+		Wire("Addr", "AREG.d").
+		Wire("AREG.q", "ramdec.in0").
+		Wire("Din", "ramdec.in1[7:0]").
+		Wire("WE", "ramdec.in1[8]").
+		Wire("ramdec.out", "DOUTREG.d").
+		Wire("DOUTREG.q", "Dout").
+		MustBuild()
+}
+
+// ROM is the program memory stub.
+func ROM() *rtl.Core {
+	return rtl.NewCore("ROM").
+		In("Addr", 12).
+		Out("Dout", 8).
+		Reg("DOUTREG", 8).
+		Reg("AREG", 12).
+		Cloud("romarr", 1, 12, 8, 90). // encoded program array stand-in
+		Wire("Addr", "AREG.d").
+		Wire("AREG.q", "romarr.in0").
+		Wire("romarr.out", "DOUTREG.d").
+		Wire("DOUTREG.q", "Dout").
+		MustBuild()
+}
+
+// System1 assembles the barcode SoC of Figure 2. The CCG of Figure 9
+// follows from this interconnect: NUM reaches the DISPLAY through
+// PREPROCESSOR (NUM->DB) and CPU (Data->Address); the PREPROCESSOR's
+// Address output has no observation path and needs a system-level test
+// mux; the CPU's memory-facing pins likewise.
+func System1() *soc.Chip {
+	ch := &soc.Chip{
+		Name: "system1",
+		Cores: []*soc.Core{
+			{Name: "CPU", RTL: CPU()},
+			{Name: "PREPROCESSOR", RTL: Preprocessor()},
+			{Name: "DISPLAY", RTL: Display()},
+			{Name: "RAM", RTL: RAM(), Memory: true},
+			{Name: "ROM", RTL: ROM(), Memory: true},
+		},
+		PIs: []soc.Pin{{Name: "Video", Width: 1}, {Name: "NUM", Width: 8}, {Name: "Reset", Width: 1}},
+		POs: []soc.Pin{
+			{Name: "PO-PORT1", Width: 7}, {Name: "PO-PORT2", Width: 7},
+			{Name: "PO-PORT3", Width: 7}, {Name: "PO-PORT4", Width: 7},
+			{Name: "PO-PORT5", Width: 7}, {Name: "PO-PORT6", Width: 7},
+		},
+		Nets: []soc.Net{
+			{FromPort: "Video", ToCore: "PREPROCESSOR", ToPort: "Video"},
+			{FromPort: "NUM", ToCore: "PREPROCESSOR", ToPort: "NUM"},
+			{FromPort: "Reset", ToCore: "PREPROCESSOR", ToPort: "Reset"},
+			{FromPort: "Reset", ToCore: "CPU", ToPort: "Reset"},
+			// Shared data bus: PREPROCESSOR drives both the CPU and the
+			// DISPLAY data inputs.
+			{FromCore: "PREPROCESSOR", FromPort: "DB", ToCore: "CPU", ToPort: "Data"},
+			{FromCore: "PREPROCESSOR", FromPort: "DB", ToCore: "DISPLAY", ToPort: "D"},
+			// End-of-conversion interrupts the CPU.
+			{FromCore: "PREPROCESSOR", FromPort: "Eoc", ToCore: "CPU", ToPort: "Interrupt"},
+			// Memory-mapped address bus to the DISPLAY.
+			{FromCore: "CPU", FromPort: "AddrLo", ToCore: "DISPLAY", ToPort: "ALo"},
+			{FromCore: "CPU", FromPort: "AddrHi", ToCore: "DISPLAY", ToPort: "AHi"},
+			// Memory traffic (absorbed by the BIST-tested memories).
+			{FromCore: "PREPROCESSOR", FromPort: "Address", ToCore: "RAM", ToPort: "Addr"},
+			{FromCore: "RAM", FromPort: "Dout", ToCore: "CPU", ToPort: "Data"},
+			{FromCore: "CPU", FromPort: "AddrLo", ToCore: "ROM", ToPort: "Addr"},
+			// Display ports are the chip outputs.
+			{FromCore: "DISPLAY", FromPort: "PORT1", ToPort: "PO-PORT1"},
+			{FromCore: "DISPLAY", FromPort: "PORT2", ToPort: "PO-PORT2"},
+			{FromCore: "DISPLAY", FromPort: "PORT3", ToPort: "PO-PORT3"},
+			{FromCore: "DISPLAY", FromPort: "PORT4", ToPort: "PO-PORT4"},
+			{FromCore: "DISPLAY", FromPort: "PORT5", ToPort: "PO-PORT5"},
+			{FromCore: "DISPLAY", FromPort: "PORT6", ToPort: "PO-PORT6"},
+		},
+	}
+	return ch
+}

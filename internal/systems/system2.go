@@ -1,0 +1,221 @@
+package systems
+
+import (
+	"repro/internal/rtl"
+	"repro/internal/soc"
+)
+
+// Graphics builds the control-flow-intensive graphics processor core
+// (the paper cites the power-management benchmark of [9]): a command
+// pipeline computing pixel coordinates and colors.
+func Graphics() *rtl.Core {
+	return rtl.NewCore("GRAPHICS").
+		In("Cmd", 8).
+		In("Px", 8).
+		CtlIn("Go", 1).
+		Out("Pixel", 8).
+		Out("Coord", 8).
+		CtlOut("Rdy", 1).
+		Reg("CMDREG", 8).
+		Reg("XREG", 8).
+		Reg("YREG", 8).
+		Reg("DXREG", 8).
+		Reg("COLOR", 8).
+		RegLd("PIXOUT", 8). // latches on the DRAW command only
+		Reg("RDYREG", 1).
+		Mux("MCMD", 8, 2).
+		Mux("MX", 8, 2).
+		Mux("MY", 8, 2).
+		Mux("MDX", 8, 2).
+		Mux("MCOL", 8, 2).
+		Mux("MPIX", 8, 2).
+		Mux("MRDY", 1, 2).
+		Unit(rtl.Unit{Name: "addx", Op: rtl.OpAdd, Width: 8}).
+		Unit(rtl.Unit{Name: "blend", Op: rtl.OpXor, Width: 8}).
+		Unit(rtl.Unit{Name: "isdraw", Op: rtl.OpEq, Width: 8}).
+		Const("drawop", 8, 0x3C).
+		Cloud("gctl", 2, 8, 8, 2150).
+		Wire("Cmd", "MCMD.in0").
+		Wire("gctl.out[7:0]", "MCMD.in1").
+		Wire("MCMD.out", "CMDREG.d").
+		Wire("CMDREG.q", "MX.in0").
+		Wire("addx.out", "MX.in1").
+		Wire("MX.out", "XREG.d").
+		Wire("XREG.q", "MY.in0").
+		Wire("addx.out", "MY.in1").
+		Wire("MY.out", "YREG.d").
+		Wire("Px", "MDX.in0").
+		Wire("blend.out", "MDX.in1").
+		Wire("MDX.out", "DXREG.d").
+		Wire("DXREG.q", "MCOL.in0").
+		Wire("blend.out", "MCOL.in1").
+		Wire("MCOL.out", "COLOR.d").
+		Wire("COLOR.q", "MPIX.in0").
+		Wire("blend.out", "MPIX.in1").
+		Wire("MPIX.out", "PIXOUT.d").
+		Wire("CMDREG.q", "isdraw.in0").
+		Wire("drawop.out", "isdraw.in1").
+		Wire("isdraw.out", "PIXOUT.ld").
+		Wire("PIXOUT.q", "Pixel").
+		Wire("YREG.q", "Coord").
+		Wire("XREG.q", "addx.in0").
+		Wire("DXREG.q", "addx.in1").
+		Wire("COLOR.q", "blend.in0").
+		Wire("CMDREG.q", "blend.in1").
+		Wire("gctl.out[0]", "MRDY.in0").
+		Wire("Go", "MRDY.in1").
+		Wire("MRDY.out", "RDYREG.d").
+		Wire("RDYREG.q", "Rdy").
+		Wire("CMDREG.q", "gctl.in0").
+		Wire("XREG.q", "gctl.in1").
+		Wire("gctl.out[1]", "MCMD.sel").
+		Wire("gctl.out[2]", "MX.sel").
+		Wire("gctl.out[3]", "MY.sel").
+		Wire("gctl.out[4]", "MDX.sel").
+		Wire("gctl.out[5]", "MCOL.sel").
+		Wire("gctl.out[6]", "MPIX.sel").
+		Wire("gctl.out[7]", "MRDY.sel").
+		MustBuild()
+}
+
+// GCD builds the greatest-common-divisor core from the 1995 high-level
+// synthesis repository [10]: subtract-and-swap datapath.
+func GCD() *rtl.Core {
+	return rtl.NewCore("GCD").
+		In("Xin", 8).
+		In("Yin", 8).
+		CtlIn("Start", 1).
+		Out("Rslt", 8).
+		CtlOut("Done", 1).
+		Reg("X", 8).
+		Reg("Y", 8).
+		RegLd("RES", 8). // latches when the iteration terminates (Y == 0)
+		Reg("DONEREG", 1).
+		Mux("MGX", 8, 2).
+		Mux("MGY", 8, 2).
+		Mux("MR", 8, 2).
+		Mux("MD", 1, 2).
+		Unit(rtl.Unit{Name: "sub", Op: rtl.OpSub, Width: 8}).
+		Unit(rtl.Unit{Name: "iszero", Op: rtl.OpEq, Width: 8}).
+		Const("zero", 8, 0).
+		Cloud("gcdctl", 2, 8, 4, 1075).
+		Wire("Xin", "MGX.in0").
+		Wire("sub.out", "MGX.in1").
+		Wire("MGX.out", "X.d").
+		Wire("Yin", "MGY.in0").
+		Wire("X.q", "MGY.in1").
+		Wire("MGY.out", "Y.d").
+		Wire("X.q", "sub.in0").
+		Wire("Y.q", "sub.in1").
+		Wire("Y.q", "iszero.in0").
+		Wire("zero.out", "iszero.in1").
+		Wire("X.q", "MR.in0").
+		Wire("sub.out", "MR.in1").
+		Wire("MR.out", "RES.d").
+		Wire("iszero.out", "RES.ld").
+		Wire("RES.q", "Rslt").
+		Wire("iszero.out", "MD.in0").
+		Wire("Start", "MD.in1").
+		Wire("MD.out", "DONEREG.d").
+		Wire("DONEREG.q", "Done").
+		Wire("X.q", "gcdctl.in0").
+		Wire("Y.q", "gcdctl.in1").
+		Wire("gcdctl.out[1]", "MGX.sel").
+		Wire("gcdctl.out[2]", "MGY.sel").
+		Wire("gcdctl.out[3]", "MR.sel").
+		Wire("gcdctl.out[0]", "MD.sel").
+		MustBuild()
+}
+
+// X25 builds the X.25 protocol core [11]: a receive/transmit pipeline
+// with a deep state machine cloud.
+func X25() *rtl.Core {
+	return rtl.NewCore("X25").
+		In("RX", 8).
+		CtlIn("Frame", 1).
+		Out("TX", 8).
+		Out("Status", 4).
+		Reg("RXREG", 8).
+		Reg("HDR", 8).
+		Reg("PAYLOAD", 8).
+		Reg("CRC", 8).
+		RegLd("TXREG", 8). // latches on a valid frame header only
+		RegLd("STREG", 4).
+		Mux("MRX", 8, 2).
+		Mux("MH", 8, 2).
+		Mux("MP", 8, 2).
+		Mux("MC", 8, 2).
+		Mux("MTX", 8, 2).
+		Mux("MST", 4, 2).
+		Unit(rtl.Unit{Name: "crcx", Op: rtl.OpXor, Width: 8}).
+		Unit(rtl.Unit{Name: "isflag", Op: rtl.OpEq, Width: 8}).
+		Const("flagbyte", 8, 0x7E).
+		Cloud("xctl", 3, 8, 10, 2510).
+		Wire("RX", "MRX.in0").
+		Wire("crcx.out", "MRX.in1").
+		Wire("MRX.out", "RXREG.d").
+		Wire("RXREG.q", "MH.in0").
+		Wire("crcx.out", "MH.in1").
+		Wire("MH.out", "HDR.d").
+		Wire("HDR.q", "MP.in0").
+		Wire("crcx.out", "MP.in1").
+		Wire("MP.out", "PAYLOAD.d").
+		Wire("PAYLOAD.q", "MC.in0").
+		Wire("crcx.out", "MC.in1").
+		Wire("MC.out", "CRC.d").
+		Wire("CRC.q", "MTX.in0").
+		Wire("crcx.out", "MTX.in1").
+		Wire("MTX.out", "TXREG.d").
+		Wire("HDR.q", "isflag.in0").
+		Wire("flagbyte.out", "isflag.in1").
+		Wire("isflag.out", "TXREG.ld").
+		Wire("isflag.out", "STREG.ld").
+		Wire("HDR.q[3:0]", "MST.in0").
+		Wire("xctl.out[3:0]", "MST.in1").
+		Wire("MST.out", "STREG.d").
+		Wire("STREG.q", "Status").
+		Wire("RXREG.q", "crcx.in0").
+		Wire("PAYLOAD.q", "crcx.in1").
+		Wire("RXREG.q", "xctl.in0").
+		Wire("CRC.q", "xctl.in1").
+		Wire("Frame", "xctl.in2[0]").
+		Wire("xctl.out[4]", "MRX.sel").
+		Wire("xctl.out[5]", "MH.sel").
+		Wire("xctl.out[6]", "MP.sel").
+		Wire("xctl.out[7]", "MC.sel").
+		Wire("xctl.out[8]", "MTX.sel").
+		Wire("xctl.out[9]", "MST.sel").
+		MustBuild()
+}
+
+// System2 assembles the second evaluation SoC: graphics processor, GCD
+// and X25 protocol cores in a processing pipeline.
+func System2() *soc.Chip {
+	return &soc.Chip{
+		Name: "system2",
+		Cores: []*soc.Core{
+			{Name: "GRAPHICS", RTL: Graphics()},
+			{Name: "GCD", RTL: GCD()},
+			{Name: "X25", RTL: X25()},
+		},
+		PIs: []soc.Pin{
+			{Name: "Cmd", Width: 8}, {Name: "Px", Width: 8},
+			{Name: "Go", Width: 1}, {Name: "Frame", Width: 1},
+		},
+		POs: []soc.Pin{
+			{Name: "TXOut", Width: 8}, {Name: "StatusOut", Width: 4},
+		},
+		Nets: []soc.Net{
+			{FromPort: "Cmd", ToCore: "GRAPHICS", ToPort: "Cmd"},
+			{FromPort: "Px", ToCore: "GRAPHICS", ToPort: "Px"},
+			{FromPort: "Go", ToCore: "GRAPHICS", ToPort: "Go"},
+			{FromCore: "GRAPHICS", FromPort: "Pixel", ToCore: "GCD", ToPort: "Xin"},
+			{FromCore: "GRAPHICS", FromPort: "Coord", ToCore: "GCD", ToPort: "Yin"},
+			{FromCore: "GRAPHICS", FromPort: "Rdy", ToCore: "GCD", ToPort: "Start"},
+			{FromCore: "GCD", FromPort: "Rslt", ToCore: "X25", ToPort: "RX"},
+			{FromPort: "Frame", ToCore: "X25", ToPort: "Frame"},
+			{FromCore: "X25", FromPort: "TX", ToPort: "TXOut"},
+			{FromCore: "X25", FromPort: "Status", ToPort: "StatusOut"},
+		},
+	}
+}

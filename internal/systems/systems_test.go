@@ -1,0 +1,206 @@
+package systems
+
+import (
+	"testing"
+
+	"repro/internal/hscan"
+	"repro/internal/rtl"
+	"repro/internal/synth"
+	"repro/internal/trans"
+)
+
+func ladder(t *testing.T, c *rtl.Core) []*trans.Version {
+	t.Helper()
+	scan, err := hscan.Insert(c)
+	if err != nil {
+		t.Fatalf("hscan(%s): %v", c.Name, err)
+	}
+	g, err := trans.Build(c, scan)
+	if err != nil {
+		t.Fatalf("rcg(%s): %v", c.Name, err)
+	}
+	vs, err := trans.Versions(g)
+	if err != nil {
+		t.Fatalf("versions(%s): %v", c.Name, err)
+	}
+	if len(vs) == 0 {
+		t.Fatalf("no versions for %s", c.Name)
+	}
+	return vs
+}
+
+func TestSystem1Validates(t *testing.T) {
+	ch := System1()
+	if err := ch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.TestableCores()) != 3 {
+		t.Errorf("testable cores = %d, want 3 (RAM/ROM are memory)", len(ch.TestableCores()))
+	}
+}
+
+func TestSystem2Validates(t *testing.T) {
+	ch := System2()
+	if err := ch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.TestableCores()) != 3 {
+		t.Errorf("testable cores = %d, want 3", len(ch.TestableCores()))
+	}
+}
+
+func TestAllCoresSynthesize(t *testing.T) {
+	for _, c := range []*rtl.Core{CPU(), Preprocessor(), Display(), RAM(), ROM(), Graphics(), GCD(), X25()} {
+		res, err := synth.Synthesize(c)
+		if err != nil {
+			t.Errorf("synthesize(%s): %v", c.Name, err)
+			continue
+		}
+		st := res.Netlist.Stats()
+		if st.Gates == 0 || st.FFs == 0 {
+			t.Errorf("%s: degenerate netlist %+v", c.Name, st)
+		}
+	}
+}
+
+func TestDisplayMatchesPublishedCounts(t *testing.T) {
+	d := Display()
+	// Section 3: "the DISPLAY core has 66 flip-flops and 20 internal
+	// inputs".
+	if got := d.FFCount(); got != 66 {
+		t.Errorf("DISPLAY flip-flops = %d, want 66", got)
+	}
+	if got := d.InputBits(); got != 20 {
+		t.Errorf("DISPLAY input bits = %d, want 20", got)
+	}
+	if got := d.OutputBits(); got != 42 {
+		t.Errorf("DISPLAY output bits = %d, want 42 (six 7-segment ports)", got)
+	}
+}
+
+func TestCPUFigure6Ladder(t *testing.T) {
+	vs := ladder(t, CPU())
+	v1 := vs[0]
+	// Figure 6 shape: Version 1 justifies Address(7:0) through the long
+	// HSCAN chain and Address(11:8) in two cycles.
+	if got := v1.JustLatency("AddrLo"); got != 6 {
+		t.Errorf("V1 D->A(7:0) = %d cycles, want 6 (Figure 6)", got)
+	}
+	if got := v1.JustLatency("AddrHi"); got != 2 {
+		t.Errorf("V1 D->A(11:8) = %d cycles, want 2 (Figure 6)", got)
+	}
+	// The ladder must reach single-cycle address justification.
+	last := vs[len(vs)-1]
+	if got := last.JustLatency("AddrLo"); got != 1 {
+		t.Errorf("final D->A(7:0) = %d, want 1 (Version 3 of Figure 5)", got)
+	}
+	if got := last.JustLatency("AddrHi"); got != 1 {
+		t.Errorf("final D->A(11:8) = %d, want 1", got)
+	}
+	// Monotone trade-off (the Figure 6 table).
+	for i := 1; i < len(vs); i++ {
+		ai, aj := vs[i].Area, vs[i-1].Area
+		if ai.Cells() < aj.Cells() {
+			t.Errorf("version %d area %d < version %d area %d", i+1, ai.Cells(), i, aj.Cells())
+		}
+	}
+}
+
+func TestCPUControlBypass(t *testing.T) {
+	vs := ladder(t, CPU())
+	v1 := vs[0]
+	// Section 4: control inputs bypass random logic; Reset reaches Read
+	// and Interrupt reaches Write through the CREG chain.
+	if got := v1.PropLatency("Reset"); got < 1 || got > 2 {
+		t.Errorf("Reset propagation = %d cycles, want 1-2 (paper: 2)", got)
+	}
+	if got := v1.PropLatency("Interrupt"); got < 1 || got > 2 {
+		t.Errorf("Interrupt propagation = %d cycles, want 1-2", got)
+	}
+}
+
+func TestPreprocessorFigure8Ladder(t *testing.T) {
+	vs := ladder(t, Preprocessor())
+	v1 := vs[0]
+	// Figure 8(a): Version 1 moves NUM->DB in five cycles.
+	if got := v1.JustLatency("DB"); got != 5 {
+		t.Errorf("V1 NUM->DB = %d cycles, want 5 (Figure 8)", got)
+	}
+	last := vs[len(vs)-1]
+	if got := last.JustLatency("DB"); got != 1 {
+		t.Errorf("final NUM->DB = %d, want 1", got)
+	}
+	if len(vs) < 2 {
+		t.Errorf("PREPROCESSOR ladder has %d versions, want >= 2", len(vs))
+	}
+}
+
+func TestDisplayFigure8Ladder(t *testing.T) {
+	vs := ladder(t, Display())
+	v1 := vs[0]
+	// Figure 8(b): D and A reach "a combination of output ports" in a
+	// couple of cycles.
+	if got := v1.PropLatency("D"); got < 1 || got > 3 {
+		t.Errorf("V1 D->OUT = %d cycles, want 1-3 (paper: 2)", got)
+	}
+	if got := v1.PropLatency("ALo"); got < 1 || got > 4 {
+		t.Errorf("V1 A->OUT = %d cycles, want 1-4 (paper: 3)", got)
+	}
+	// Every PORT output is justifiable (the DISPLAY test needs it).
+	for i := 1; i <= 6; i++ {
+		port := "PORT" + digit(i)
+		if got := v1.JustLatency(port); got < 1 {
+			t.Errorf("V1 just(%s) = %d, want >= 1", port, got)
+		}
+	}
+}
+
+func TestCPUScanChains(t *testing.T) {
+	c := CPU()
+	scan, err := hscan.Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The datapath threads into a deep chain (Figure 4(a)).
+	if scan.MaxDepth < 4 {
+		t.Errorf("CPU scan depth = %d, want >= 4", scan.MaxDepth)
+	}
+	// Every register is covered.
+	covered := map[string]bool{}
+	for _, ch := range scan.Chains {
+		for _, r := range ch.Regs {
+			covered[r] = true
+		}
+	}
+	for _, r := range c.Regs {
+		if !covered[r.Name] {
+			t.Errorf("register %s not in any scan chain", r.Name)
+		}
+	}
+}
+
+func TestSystemSizes(t *testing.T) {
+	// The paper's originals: System 1 = 8014 cells, System 2 = 5540.
+	// Our synthetic clouds are calibrated to land in the same ballpark
+	// (±20%), keeping the relative overhead percentages meaningful.
+	area := func(cores ...*rtl.Core) int {
+		total := 0
+		for _, c := range cores {
+			res, err := synth.Synthesize(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := res.Netlist.Area()
+			total += a.Cells()
+		}
+		return total
+	}
+	s1 := area(CPU(), Preprocessor(), Display())
+	if s1 < 6400 || s1 > 9600 {
+		t.Errorf("System 1 area = %d cells, want 8014 +/- 20%%", s1)
+	}
+	s2 := area(Graphics(), GCD(), X25())
+	if s2 < 4400 || s2 > 6650 {
+		t.Errorf("System 2 area = %d cells, want 5540 +/- 20%%", s2)
+	}
+}

@@ -1,0 +1,69 @@
+package testbus
+
+import (
+	"testing"
+
+	"repro/internal/hscan"
+	"repro/internal/systems"
+)
+
+func TestEvaluateSystem1(t *testing.T) {
+	ch := systems.System1()
+	for _, c := range ch.TestableCores() {
+		scan, err := hscan.Insert(c.RTL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Scan = scan
+		c.Vectors = 100
+	}
+	res := Evaluate(ch)
+	if len(res.Cores) != 3 {
+		t.Fatalf("evaluated %d cores, want 3", len(res.Cores))
+	}
+	for _, cr := range res.Cores {
+		// Direct pin access: period 1, so TAT ~= HSCAN vectors.
+		if cr.TAT <= 0 {
+			t.Errorf("%s: TAT = %d", cr.Core, cr.TAT)
+		}
+		if cr.MuxArea.Cells() == 0 {
+			t.Errorf("%s: test bus needs isolation muxes", cr.Core)
+		}
+	}
+	if res.MuxCells() == 0 {
+		t.Error("no bus mux area")
+	}
+}
+
+// The test bus buys minimum TAT with maximum mux area: both claims of
+// Section 1 and the degenerate case of Section 5.2.
+func TestBusIsFastButExpensive(t *testing.T) {
+	ch := systems.System1()
+	totalBits := 0
+	for _, c := range ch.TestableCores() {
+		scan, err := hscan.Insert(c.RTL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Scan = scan
+		c.Vectors = 100
+		for _, p := range c.RTL.Ports {
+			totalBits += p.Width
+		}
+	}
+	res := Evaluate(ch)
+	if res.MuxCells() < totalBits {
+		t.Errorf("bus muxes %d cells, want >= one per port bit (%d)", res.MuxCells(), totalBits)
+	}
+	// Period-1 delivery: TAT equals scan cycles with no transparency waits.
+	for _, cr := range res.Cores {
+		c, _ := ch.CoreByName(cr.Core)
+		minPossible := c.Scan.VectorsFor(c.Vectors)
+		if cr.TAT < minPossible {
+			t.Errorf("%s: TAT %d below scan minimum %d", cr.Core, cr.TAT, minPossible)
+		}
+		if cr.TAT > minPossible+cr.Depth {
+			t.Errorf("%s: TAT %d exceeds bus-access bound %d", cr.Core, cr.TAT, minPossible+cr.Depth)
+		}
+	}
+}

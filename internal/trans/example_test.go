@@ -1,0 +1,27 @@
+package trans_test
+
+import (
+	"fmt"
+
+	"repro/internal/hscan"
+	"repro/internal/systems"
+	"repro/internal/trans"
+)
+
+// ExampleVersions builds the CPU's transparency version ladder — the
+// paper's Figure 6 trade-off between transparency latency and area.
+func ExampleVersions() {
+	cpu := systems.CPU()
+	scan, _ := hscan.Insert(cpu)
+	rcg, _ := trans.Build(cpu, scan)
+	versions, _ := trans.Versions(rcg)
+	for _, v := range versions {
+		a := v.Area
+		fmt.Printf("%s: Data->Address(7:0)=%d cycles, Data->Address(11:8)=%d cycles, +%d cells\n",
+			v.Label, v.JustLatency("AddrLo"), v.JustLatency("AddrHi"), a.Cells())
+	}
+	// Output:
+	// Version 1: Data->Address(7:0)=6 cycles, Data->Address(11:8)=2 cycles, +4 cells
+	// Version 2: Data->Address(7:0)=1 cycles, Data->Address(11:8)=2 cycles, +8 cells
+	// Version 3: Data->Address(7:0)=1 cycles, Data->Address(11:8)=1 cycles, +12 cells
+}
