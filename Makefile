@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test bench check trace
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Regenerate every table and figure of the paper next to its numbers.
+bench:
+	$(GO) test -bench=. -benchmem -v
+
+# Formatting + vet + full suite under the race detector (CI entry point).
+check:
+	sh scripts/check.sh
+
+# Example observability capture: full System 1 flow with span trace,
+# metrics snapshot, and per-phase timing summary.
+trace:
+	$(GO) run ./cmd/socet -system 1 -trace socet.ndjson -metrics socet.json -v

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/explore"
+	"repro/internal/obs/obscli"
 	"repro/internal/report"
 	"repro/internal/soc"
 	"repro/internal/systems"
@@ -28,7 +29,13 @@ func main() {
 	t3only := flag.Bool("table3", false, "print only Table 3")
 	cycles := flag.Int("cycles", 192, "random functional cycles for the sequential columns")
 	sample := flag.Int("sample", 1500, "sampled faults for the sequential columns")
+	obsCfg := obscli.AddFlags(flag.CommandLine)
 	flag.Parse()
+	sess, err := obsCfg.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
 
 	var chips []*soc.Chip
 	switch *system {

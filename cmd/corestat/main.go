@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/hscan"
+	"repro/internal/obs/obscli"
 	"repro/internal/report"
 	"repro/internal/rtl"
 	"repro/internal/soc"
@@ -25,7 +26,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("corestat: ")
 	name := flag.String("core", "cpu", "core to analyze: cpu, preprocessor, display, graphics, gcd, x25")
+	obsCfg := obscli.AddFlags(flag.CommandLine)
 	flag.Parse()
+	sess, err := obsCfg.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
 
 	builders := map[string]func() *rtl.Core{
 		"cpu":          systems.CPU,

@@ -6,6 +6,11 @@
 // Usage:
 //
 //	socet [-system 1|2] [-objective area|tat|none] [-budget N] [-v]
+//	      [-trace out.ndjson] [-metrics out.json]
+//	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// With -v, a per-phase wall-time summary of the whole flow is printed
+// from the recorded spans (tracing is switched on automatically).
 package main
 
 import (
@@ -16,6 +21,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/explore"
+	"repro/internal/obs"
+	"repro/internal/obs/obscli"
 	"repro/internal/soc"
 	"repro/internal/systems"
 )
@@ -26,8 +33,19 @@ func main() {
 	system := flag.Int("system", 1, "example system to run (1 = barcode, 2 = graphics/GCD/X25)")
 	objective := flag.String("objective", "none", "selection objective: tat (min TAT under area budget), area (min area under TAT budget), none (min-area versions)")
 	budget := flag.Int("budget", 0, "budget for the objective (cells for -objective tat, cycles for -objective area)")
-	verbose := flag.Bool("v", false, "print per-core details")
+	verbose := flag.Bool("v", false, "print per-core details and a per-phase timing summary")
+	obsCfg := obscli.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	sess, err := obsCfg.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	if *verbose && !obs.Enabled() {
+		// -v wants the timing summary even without -trace/-metrics.
+		obs.Enable(obsCfg.TraceCap)
+	}
 
 	ch := pick(*system)
 	fmt.Printf("SOCET flow on %s\n", ch.Name)
@@ -82,6 +100,11 @@ func main() {
 	if e.BISTCycles > 0 {
 		fmt.Printf("  memory BIST:        %5d cycles (concurrent)\n", e.BISTCycles)
 	}
+	if cands := explore.Candidates(f, e, explore.Cost{W1: 1}); len(cands) > 0 {
+		best := cands[0]
+		fmt.Printf("  explorer:           %d candidate version upgrades (best: %s -> V%d, est. dTAT %d, dA %d)\n",
+			len(cands), best.Core, best.Version+1, best.DeltaTAT, best.DeltaArea)
+	}
 	if *verbose {
 		fmt.Printf("\nper-core schedule:\n")
 		for _, cs := range e.Sched.Cores {
@@ -101,6 +124,9 @@ func main() {
 				}
 				fmt.Printf("      observe %-10s latency %2d%s\n", out.Port, out.Arrival, mux)
 			}
+		}
+		if t := obs.T(); t != nil {
+			fmt.Printf("\nper-phase timing:\n%s", obs.FormatSummary(obs.Summarize(t.Records())))
 		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/explore"
+	"repro/internal/obs/obscli"
 	"repro/internal/report"
 	"repro/internal/soc"
 	"repro/internal/systems"
@@ -24,7 +25,13 @@ func main() {
 	log.SetPrefix("tradeoff: ")
 	system := flag.Int("system", 1, "example system (1 or 2)")
 	pareto := flag.Bool("pareto", false, "print only the Pareto front")
+	obsCfg := obscli.AddFlags(flag.CommandLine)
 	flag.Parse()
+	sess, err := obsCfg.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
 
 	var ch *soc.Chip
 	switch *system {

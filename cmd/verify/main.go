@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/chipsim"
 	"repro/internal/core"
+	"repro/internal/obs/obscli"
 	"repro/internal/rtlsim"
 	"repro/internal/sched"
 	"repro/internal/soc"
@@ -29,7 +30,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("verify: ")
 	system := flag.Int("system", 1, "example system (1 or 2)")
+	obsCfg := obscli.AddFlags(flag.CommandLine)
 	flag.Parse()
+	sess, err := obsCfg.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
 
 	var ch *soc.Chip
 	switch *system {

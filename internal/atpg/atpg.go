@@ -9,6 +9,7 @@ package atpg
 import (
 	"repro/internal/fsim"
 	"repro/internal/gate"
+	"repro/internal/obs"
 )
 
 // Three-valued signal levels.
@@ -178,6 +179,11 @@ func GenerateFor(n *gate.Netlist, faults []gate.Fault, opts *Options) (*Result, 
 		res.Patterns = Compact(n, res.Patterns, faults)
 	}
 	res.Stats.Vectors = len(res.Patterns)
+	obs.C("atpg.faults").Add(int64(res.Stats.Faults))
+	obs.C("atpg.detected").Add(int64(res.Stats.Detected))
+	obs.C("atpg.untestable").Add(int64(res.Stats.Untestable))
+	obs.C("atpg.aborted_faults").Add(int64(res.Stats.Aborted))
+	obs.C("atpg.vectors").Add(int64(res.Stats.Vectors))
 	return res, nil
 }
 

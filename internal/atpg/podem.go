@@ -1,6 +1,9 @@
 package atpg
 
-import "repro/internal/gate"
+import (
+	"repro/internal/gate"
+	"repro/internal/obs"
+)
 
 // outcome of a PODEM run.
 type outcome int
@@ -34,6 +37,9 @@ type engine struct {
 	f         gate.Fault
 	site      int
 	victimDFF bool
+	// observability hooks (nil when obs is disabled; Add on nil is a
+	// no-op, so the search pays one pointer check per podem run).
+	cBacktracks, cImplications *obs.Counter
 }
 
 func newEngine(n *gate.Netlist) (*engine, error) {
@@ -72,6 +78,8 @@ func newEngine(n *gate.Netlist) (*engine, error) {
 	}
 	e.computeObsDist()
 	e.computeControllability()
+	e.cBacktracks = obs.C("atpg.backtracks")
+	e.cImplications = obs.C("atpg.implications")
 	return e, nil
 }
 
@@ -547,9 +555,14 @@ func (e *engine) podem(f gate.Fault, backtrackLimit int) outcome {
 		e.assign[i] = xx
 	}
 	var stack []decision
-	backtracks := 0
+	backtracks, implications := 0, 0
+	defer func() {
+		e.cBacktracks.Add(int64(backtracks))
+		e.cImplications.Add(int64(implications))
+	}()
 	for {
 		e.imply()
+		implications++
 		if e.detected() {
 			return outDetected
 		}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/rtl"
 	"repro/internal/soc"
 	"repro/internal/trans"
@@ -184,6 +185,9 @@ func Build(ch *soc.Chip) (*Graph, error) {
 		}
 	}
 	g.rebuildOut()
+	obs.C("ccg.builds").Inc()
+	obs.G("ccg.nodes").Set(int64(len(g.Nodes)))
+	obs.G("ccg.edges").Set(int64(len(g.Edges)))
 	return g, nil
 }
 
@@ -221,6 +225,7 @@ func (r Reservations) earliestFree(res []ResKey, t, dur int) int {
 		return t
 	}
 	start := t
+	conflicts := int64(0)
 	for changed := true; changed; {
 		changed = false
 		for _, k := range res {
@@ -228,9 +233,13 @@ func (r Reservations) earliestFree(res []ResKey, t, dur int) int {
 				if start < iv.End && start+dur > iv.Start {
 					start = iv.End
 					changed = true
+					conflicts++
 				}
 			}
 		}
+	}
+	if conflicts > 0 {
+		obs.C("ccg.reservation_conflicts").Add(conflicts)
 	}
 	return start
 }
@@ -297,6 +306,7 @@ func (g *Graph) ShortestPath(sources []int, target int, resv Reservations) *Path
 			heap.Push(h, pqItem{s, 0})
 		}
 	}
+	relaxations := int64(0)
 	for h.Len() > 0 {
 		it := heap.Pop(h).(pqItem)
 		if it.time > dist[it.node] {
@@ -307,6 +317,7 @@ func (g *Graph) ShortestPath(sources []int, target int, resv Reservations) *Path
 		}
 		for _, eid := range g.Out[it.node] {
 			e := g.Edges[eid]
+			relaxations++
 			start := resv.earliestFree(e.Res, it.time, e.Latency)
 			arr := start + e.Latency
 			if arr < dist[e.To] {
@@ -317,6 +328,8 @@ func (g *Graph) ShortestPath(sources []int, target int, resv Reservations) *Path
 			}
 		}
 	}
+	obs.C("ccg.relaxations").Add(relaxations)
+	obs.C("ccg.searches").Inc()
 	if dist[target] == inf {
 		return nil
 	}

@@ -11,6 +11,7 @@ package chipsim
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/rtlsim"
 	"repro/internal/soc"
 	"repro/internal/trans"
@@ -95,6 +96,7 @@ func (s *Sim) propagate() error {
 
 // Step propagates the nets and clocks every core once.
 func (s *Sim) Step() error {
+	obs.C("chipsim.cycles").Inc()
 	if err := s.propagate(); err != nil {
 		return err
 	}

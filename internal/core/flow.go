@@ -16,6 +16,7 @@ import (
 	"repro/internal/cell"
 	"repro/internal/ctrl"
 	"repro/internal/hscan"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/soc"
 	"repro/internal/synth"
@@ -76,9 +77,13 @@ func Prepare(ch *soc.Chip, opts *Options) (*Flow, error) {
 	if opts != nil {
 		f.Opts = *opts
 	}
+	root := obs.Start(nil, "prepare")
+	defer root.End()
 	for _, c := range ch.Cores {
 		art := &Artifacts{Core: c}
+		sp := obs.Start(root, "synth/"+c.Name)
 		sr, err := synth.Synthesize(c.RTL)
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: synthesize %s: %w", c.Name, err)
 		}
@@ -88,16 +93,21 @@ func Prepare(ch *soc.Chip, opts *Options) (*Flow, error) {
 			f.Cores[c.Name] = art
 			continue
 		}
+		sp = obs.Start(root, "hscan/"+c.Name)
 		scan, err := hscan.Insert(c.RTL)
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: hscan %s: %w", c.Name, err)
 		}
 		c.Scan = scan
+		sp = obs.Start(root, "versions/"+c.Name)
 		g, err := trans.Build(c.RTL, scan)
 		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("core: rcg %s: %w", c.Name, err)
 		}
 		vs, err := trans.Versions(g)
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: versions %s: %w", c.Name, err)
 		}
@@ -110,7 +120,9 @@ func Prepare(ch *soc.Chip, opts *Options) (*Flow, error) {
 				continue
 			}
 		}
+		sp = obs.Start(root, "atpg/"+c.Name)
 		res, err := atpg.Generate(sr.Netlist, f.Opts.ATPG)
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: atpg %s: %w", c.Name, err)
 		}
@@ -164,31 +176,19 @@ func (e *Evaluation) ChipDFTGrids() int {
 // Evaluate builds the CCG for the chip's current version selection and
 // schedules every core test.
 func (f *Flow) Evaluate() (*Evaluation, error) {
+	root := obs.Start(nil, "evaluate")
+	defer root.End()
+	sp := obs.Start(root, "ccg/build")
 	g, err := ccg.Build(f.Chip)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	var forcedArea cell.Area
 	for _, fm := range f.ForcedMuxes {
-		target, ok := g.NodeIndex(fm.Core + "." + fm.Port)
-		if !ok {
-			return nil, fmt.Errorf("core: forced mux on unknown port %s.%s", fm.Core, fm.Port)
-		}
-		c, _ := f.Chip.CoreByName(fm.Core)
-		width := 1
-		if p, ok := c.RTL.PortByName(fm.Port); ok {
-			width = p.Width
-		}
-		if fm.Input {
-			pi := g.PINodes()
-			if len(pi) > 0 {
-				g.AddTestMux(pi[0], target)
-			}
-		} else {
-			po := g.PONodes()
-			if len(po) > 0 {
-				g.AddTestMux(target, po[0])
-			}
+		width, err := f.applyForcedMux(g, fm)
+		if err != nil {
+			return nil, err
 		}
 		forcedArea.Add(cell.Mux2, width)
 	}
@@ -202,7 +202,9 @@ func (f *Flow) Evaluate() (*Evaluation, error) {
 	e := &Evaluation{Graph: g, Sched: s}
 	e.MuxArea = forcedArea
 	e.MuxArea.AddArea(s.MuxArea)
+	sp = obs.Start(root, "ctrl/generate")
 	e.Controller = ctrl.Generate(f.Chip, s)
+	sp.End()
 	e.CtrlArea = e.Controller.Area
 	for _, c := range f.Chip.TestableCores() {
 		if v := c.Version(); v != nil {
@@ -212,7 +214,9 @@ func (f *Flow) Evaluate() (*Evaluation, error) {
 	e.TransCells = e.TransArea.Cells()
 	e.MuxCells = e.MuxArea.Cells()
 	e.CtrlCells = e.CtrlArea.Cells()
+	sp = obs.Start(root, "interconnect/sched")
 	ir, err := sched.ScheduleInterconnect(f.Chip, g)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -221,7 +225,81 @@ func (f *Flow) Evaluate() (*Evaluation, error) {
 	e.BISTCycles = bistCycles
 	e.LogicTAT = s.TotalTAT
 	e.TAT = s.TotalTAT
+	obs.C("core.evaluations").Inc()
 	return e, nil
+}
+
+// applyForcedMux wires one explorer-placed test mux into the CCG and
+// returns the muxed port's width. The chip pin is chosen for width
+// compatibility (the narrowest pin that still covers the port, else the
+// widest available); a chip with no PI (input mux) or no PO (output mux)
+// is an error rather than a silent no-op.
+func (f *Flow) applyForcedMux(g *ccg.Graph, fm ForcedMux) (int, error) {
+	target, ok := g.NodeIndex(fm.Core + "." + fm.Port)
+	if !ok {
+		return 0, fmt.Errorf("core: forced mux on unknown port %s.%s", fm.Core, fm.Port)
+	}
+	c, ok := f.Chip.CoreByName(fm.Core)
+	if !ok {
+		return 0, fmt.Errorf("core: forced mux on unknown core %s", fm.Core)
+	}
+	width := 1
+	if p, ok := c.RTL.PortByName(fm.Port); ok {
+		width = p.Width
+	}
+	if fm.Input {
+		pi, err := pickChipPin(g, f.Chip.PIs, width)
+		if err != nil {
+			return 0, fmt.Errorf("core: forced input mux %s.%s: %w", fm.Core, fm.Port, err)
+		}
+		g.AddTestMux(pi, target)
+	} else {
+		po, err := pickChipPin(g, f.Chip.POs, width)
+		if err != nil {
+			return 0, fmt.Errorf("core: forced output mux %s.%s: %w", fm.Core, fm.Port, err)
+		}
+		g.AddTestMux(target, po)
+	}
+	obs.C("core.forced_muxes").Inc()
+	return width, nil
+}
+
+// pickChipPin selects the chip pin a forced test mux attaches to: the
+// narrowest pin at least width bits wide (so the full port is covered
+// with the least wiring), falling back to the widest pin available; ties
+// break by name for determinism.
+func pickChipPin(g *ccg.Graph, pins []soc.Pin, width int) (int, error) {
+	if len(pins) == 0 {
+		return 0, fmt.Errorf("chip has no pins to attach a test mux to")
+	}
+	best := -1
+	better := func(i int) bool {
+		if best < 0 {
+			return true
+		}
+		bw, iw := pins[best].Width, pins[i].Width
+		bOK, iOK := bw >= width, iw >= width
+		if bOK != iOK {
+			return iOK // prefer pins wide enough for the port
+		}
+		if bw != iw {
+			if bOK {
+				return iw < bw // both cover: narrowest wins
+			}
+			return iw > bw // neither covers: widest wins
+		}
+		return pins[i].Name < pins[best].Name
+	}
+	for i := range pins {
+		if better(i) {
+			best = i
+		}
+	}
+	idx, ok := g.NodeIndex(pins[best].Name)
+	if !ok {
+		return 0, fmt.Errorf("chip pin %s missing from the CCG", pins[best].Name)
+	}
+	return idx, nil
 }
 
 // SelectVersions applies a version index per core (missing cores keep

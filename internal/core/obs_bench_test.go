@@ -1,0 +1,35 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// The tracing/metrics layer must be effectively free when disabled: the
+// acceptance bar for internal/obs is <2% overhead on Flow.Evaluate with
+// observability off. Compare:
+//
+//	go test ./internal/core -bench 'Evaluate' -benchtime 20x
+func BenchmarkEvaluateObsDisabled(b *testing.B) {
+	f := prepare(b)
+	obs.Disable()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Evaluate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateObsEnabled(b *testing.B) {
+	f := prepare(b)
+	obs.Enable(obs.DefaultTraceCap)
+	defer obs.Disable()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Evaluate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

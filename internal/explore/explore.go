@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/ccg"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/soc"
 )
 
@@ -48,6 +49,9 @@ func (p Point) Label() string {
 // points sorted by chip overhead then TAT (the x-axis ordering of
 // Figure 10).
 func Enumerate(f *core.Flow) ([]Point, error) {
+	sp := obs.Start(nil, "explore/enumerate")
+	defer sp.End()
+	cPoints := obs.C("explore.points_evaluated")
 	cores := f.Chip.TestableCores()
 	var points []Point
 	sel := map[string]int{}
@@ -69,6 +73,7 @@ func Enumerate(f *core.Flow) ([]Point, error) {
 				TAT:       e.TAT,
 				Eval:      e,
 			})
+			cPoints.Inc()
 			return nil
 		}
 		c := cores[i]
@@ -197,6 +202,7 @@ func Candidates(f *core.Flow, e *core.Evaluation, cost Cost) []Step {
 			DeltaArea: next.Cells() - cur.Cells(),
 		})
 	}
+	obs.C("explore.moves_proposed").Add(int64(len(out)))
 	sort.Slice(out, func(i, j int) bool {
 		return cost.Eval(out[i].DeltaTAT, out[i].DeltaArea) > cost.Eval(out[j].DeltaTAT, out[j].DeltaArea)
 	})
@@ -207,21 +213,31 @@ func Candidates(f *core.Flow, e *core.Evaluation, cost Cost) []Step {
 // For MinimizeTAT, budget is the maximum chip-level DFT overhead in
 // cells; for MinimizeArea, budget is the maximum TAT in cycles.
 func Improve(f *core.Flow, obj Objective, budget int) (*Result, error) {
+	root := obs.Start(nil, "explore/improve")
+	defer root.End()
+	cProposed := obs.C("explore.moves_proposed")
+	cAccepted := obs.C("explore.moves_accepted")
+	cRejected := obs.C("explore.moves_rejected")
 	e, err := f.Evaluate()
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Final: e}
-	for iter := 0; iter < 64; iter++ {
+	// iterate is one improvement move; it reports stop=true when the walk
+	// is finished. The closure keeps the per-iteration span balanced over
+	// the many exit paths.
+	iterate := func() (stop bool, err error) {
+		it := obs.Start(root, "explore/iter")
+		defer it.End()
+		obs.C("explore.iterations").Inc()
 		if obj == MinimizeArea && e.TAT <= budget {
-			break // TAT constraint met
+			return true, nil // TAT constraint met
 		}
 		type cand struct {
 			core      string
 			version   int
 			deltaTAT  int
 			deltaArea int
-			eval      *core.Evaluation
 		}
 		var cands []cand
 		for _, c := range f.Chip.TestableCores() {
@@ -238,6 +254,7 @@ func Improve(f *core.Flow, obj Objective, budget int) (*Result, error) {
 				deltaArea: next.Cells() - cur.Cells(),
 			})
 		}
+		cProposed.Add(int64(len(cands)))
 		var pick *cand
 		switch obj {
 		case MinimizeTAT:
@@ -270,45 +287,49 @@ func Improve(f *core.Flow, obj Objective, budget int) (*Result, error) {
 		if pick == nil || (pick.deltaTAT > 0 && pick.deltaArea > muxFallbackCells(f, pick.core)) {
 			step, ok, err := placeCriticalMux(f, e)
 			if err != nil {
-				return nil, err
+				return true, err
 			}
 			if !ok && pick == nil {
-				break // nothing left to do
+				return true, nil // nothing left to do
 			}
 			if ok {
 				e2, err := f.Evaluate()
 				if err != nil {
-					return nil, err
+					return true, err
 				}
 				if e2.TAT >= e.TAT && pick != nil {
 					// Mux did not help; fall through to the upgrade.
 					f.ForcedMuxes = f.ForcedMuxes[:len(f.ForcedMuxes)-1]
+					cRejected.Inc()
 				} else {
 					step.TAT = e2.TAT
 					step.ChipCells = e2.ChipDFTCells()
 					if obj == MinimizeTAT && step.ChipCells > budget {
 						f.ForcedMuxes = f.ForcedMuxes[:len(f.ForcedMuxes)-1]
-						break
+						cRejected.Inc()
+						return true, nil
 					}
 					res.Steps = append(res.Steps, step)
+					cAccepted.Inc()
 					e = e2
 					res.Final = e
-					continue
+					return false, nil
 				}
 			}
 		}
 		if pick == nil {
-			break
+			return true, nil
 		}
 		f.SelectVersions(map[string]int{pick.core: pick.version})
 		e2, err := f.Evaluate()
 		if err != nil {
-			return nil, err
+			return true, err
 		}
 		if obj == MinimizeTAT && e2.ChipDFTCells() > budget {
 			// Undo and stop: the budget is exhausted.
 			f.SelectVersions(map[string]int{pick.core: pick.version - 1})
-			break
+			cRejected.Inc()
+			return true, nil
 		}
 		res.Steps = append(res.Steps, Step{
 			Core:      pick.core,
@@ -318,8 +339,19 @@ func Improve(f *core.Flow, obj Objective, budget int) (*Result, error) {
 			TAT:       e2.TAT,
 			ChipCells: e2.ChipDFTCells(),
 		})
+		cAccepted.Inc()
 		e = e2
 		res.Final = e
+		return false, nil
+	}
+	for iter := 0; iter < 64; iter++ {
+		stop, err := iterate()
+		if err != nil {
+			return nil, err
+		}
+		if stop {
+			break
+		}
 	}
 	res.Selection = map[string]int{}
 	for _, c := range f.Chip.TestableCores() {

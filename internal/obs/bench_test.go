@@ -1,0 +1,64 @@
+package obs
+
+import "testing"
+
+// The disabled path is the one left in hot loops: it must be a pointer
+// check, nothing more. These benchmarks document that cost directly; the
+// end-to-end <2% bound on Flow.Evaluate lives in internal/core.
+
+func BenchmarkDisabledSpan(b *testing.B) {
+	Disable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := Start(nil, "bench")
+		sp.Start("child").End()
+		sp.End()
+	}
+}
+
+func BenchmarkDisabledCounter(b *testing.B) {
+	Disable()
+	c := C("bench.counter")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		c.Add(3)
+	}
+}
+
+func BenchmarkDisabledLookup(b *testing.B) {
+	Disable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		C("bench.counter").Inc()
+	}
+}
+
+func BenchmarkEnabledSpan(b *testing.B) {
+	Enable(0)
+	defer Disable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := Start(nil, "bench")
+		sp.End()
+	}
+}
+
+func BenchmarkEnabledCounter(b *testing.B) {
+	Enable(0)
+	defer Disable()
+	c := C("bench.counter")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkEnabledLookup(b *testing.B) {
+	Enable(0)
+	defer Disable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		C("bench.counter").Inc()
+	}
+}

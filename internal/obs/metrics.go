@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. A nil *Counter is
+// a valid no-op, so call sites can hold the handle unconditionally.
+type Counter struct{ v int64 }
+
+// Add increments the counter by n. Nil-safe.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	atomic.AddInt64(&c.v, n)
+}
+
+// Inc increments the counter by one. Nil-safe.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	atomic.AddInt64(&c.v, 1)
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&c.v)
+}
+
+// Gauge is an atomic last-value metric (e.g. CCG node count).
+type Gauge struct{ v int64 }
+
+// Set stores the gauge value. Nil-safe.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	atomic.StoreInt64(&g.v, n)
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&g.v)
+}
+
+// Metrics is a registry of named counters and gauges. Handles are created
+// on first use and stable afterwards, so hot paths fetch them once and
+// then touch only the atomic word.
+type Metrics struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{counters: map[string]*Counter{}, gauges: map[string]*Gauge{}}
+}
+
+// Counter returns the named counter, creating it if needed. Nil-safe: a
+// nil registry returns a nil (no-op) counter.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	c := m.counters[name]
+	m.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c = m.counters[name]; c == nil {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed. Nil-safe.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	g := m.gauges[name]
+	m.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if g = m.gauges[name]; g == nil {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Snapshot returns every metric's current value in one map (counters and
+// gauges share the namespace). Nil registry returns nil.
+func (m *Metrics) Snapshot() map[string]int64 {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[string]int64, len(m.counters)+len(m.gauges))
+	for name, c := range m.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range m.gauges {
+		out[name] = g.Value()
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as a sorted, indented JSON object.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	snap := m.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if _, err := io.WriteString(w, "{\n"); err != nil {
+		return err
+	}
+	for i, k := range keys {
+		sep := ","
+		if i == len(keys)-1 {
+			sep = ""
+		}
+		if _, err := fmt.Fprintf(w, "  %q: %d%s\n", k, snap[k], sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "}\n")
+	return err
+}

@@ -1,0 +1,72 @@
+// Package obs is the flow-wide observability layer: hierarchical wall-time
+// spans recorded into a ring buffer (exportable as NDJSON), a registry of
+// named atomic counters and gauges (exportable as JSON), and a per-phase
+// timing summary. Everything hangs off a process-global pair installed by
+// Enable; the default is disabled, in which case every entry point returns
+// a nil handle and every operation on a nil handle is a no-op, so
+// instrumentation left in hot paths costs one pointer check.
+//
+// The package depends only on the standard library. Instrumented packages
+// call obs.Start / obs.C / obs.G directly; command-line wiring (flags,
+// pprof capture, file export) lives in the obscli subpackage.
+package obs
+
+import "sync/atomic"
+
+// state bundles the installed tracer and metrics registry.
+type state struct {
+	tracer  *Tracer
+	metrics *Metrics
+}
+
+var global atomic.Pointer[state]
+
+// Enable installs a fresh process-global tracer (span ring capacity
+// traceCap, 0 for the default) and metrics registry, replacing any
+// previous installation, and returns both.
+func Enable(traceCap int) (*Tracer, *Metrics) {
+	st := &state{tracer: NewTracer(traceCap), metrics: NewMetrics()}
+	global.Store(st)
+	return st.tracer, st.metrics
+}
+
+// Disable removes the process-global tracer and registry; subsequent
+// instrumentation calls become no-ops.
+func Disable() { global.Store(nil) }
+
+// Enabled reports whether an observability state is installed.
+func Enabled() bool { return global.Load() != nil }
+
+// T returns the installed tracer, or nil when disabled.
+func T() *Tracer {
+	if st := global.Load(); st != nil {
+		return st.tracer
+	}
+	return nil
+}
+
+// M returns the installed metrics registry, or nil when disabled.
+func M() *Metrics {
+	if st := global.Load(); st != nil {
+		return st.metrics
+	}
+	return nil
+}
+
+// Start begins a span: a child of parent when parent is non-nil, else a
+// root span on the installed tracer. It returns nil — a no-op span —
+// when observability is disabled.
+func Start(parent *Span, name string) *Span {
+	if parent != nil {
+		return parent.Start(name)
+	}
+	return T().Start(name)
+}
+
+// C returns the named counter from the installed registry (nil, a no-op
+// counter, when disabled).
+func C(name string) *Counter { return M().Counter(name) }
+
+// G returns the named gauge from the installed registry (nil when
+// disabled).
+func G(name string) *Gauge { return M().Gauge(name) }

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNoop(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled() after Disable()")
+	}
+	if T() != nil || M() != nil {
+		t.Fatal("disabled state must hand out nil tracer/registry")
+	}
+	sp := Start(nil, "root")
+	if sp != nil {
+		t.Fatal("Start must return nil when disabled")
+	}
+	child := sp.Start("child")
+	if child != nil {
+		t.Fatal("child of a nil span must be nil")
+	}
+	child.End()
+	sp.End()
+	c := C("x")
+	if c != nil {
+		t.Fatal("C must return nil when disabled")
+	}
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	G("g").Set(7)
+	if G("g").Value() != 0 {
+		t.Fatal("nil gauge must read 0")
+	}
+	if M().Snapshot() != nil {
+		t.Fatal("nil registry snapshot must be nil")
+	}
+	var buf bytes.Buffer
+	if err := T().WriteNDJSON(&buf); err != nil || buf.Len() != 0 {
+		t.Fatal("nil tracer must write nothing")
+	}
+}
+
+func TestSpanHierarchyAndExport(t *testing.T) {
+	tr, _ := Enable(0)
+	defer Disable()
+
+	root := Start(nil, "prepare")
+	child := Start(root, "atpg/CPU")
+	grand := child.Start("atpg/CPU/podem")
+	grand.End()
+	child.End()
+	root.End()
+
+	recs := tr.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	// End order: grand, child, root.
+	if recs[0].Name != "atpg/CPU/podem" || recs[2].Name != "prepare" {
+		t.Fatalf("unexpected record order: %+v", recs)
+	}
+	byName := map[string]SpanRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	if byName["prepare"].Parent != 0 {
+		t.Error("root span must have parent 0")
+	}
+	if byName["atpg/CPU"].Parent != byName["prepare"].ID {
+		t.Error("child must point at root")
+	}
+	if byName["atpg/CPU/podem"].Parent != byName["atpg/CPU"].ID {
+		t.Error("grandchild must point at child")
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("NDJSON has %d lines, want 3", len(lines))
+	}
+	for _, line := range lines {
+		var obj struct {
+			ID      uint64 `json:"id"`
+			Parent  uint64 `json:"parent"`
+			Name    string `json:"name"`
+			StartUS int64  `json:"start_us"`
+			DurUS   int64  `json:"dur_us"`
+		}
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("invalid NDJSON line %q: %v", line, err)
+		}
+		if obj.Name == "" || obj.ID == 0 {
+			t.Fatalf("incomplete record %q", line)
+		}
+	}
+}
+
+func TestRingBufferWraps(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Start("s").End()
+	}
+	recs := tr.Records()
+	if len(recs) != 4 {
+		t.Fatalf("ring kept %d records, want 4", len(recs))
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	// Oldest-first: the retained IDs are 7,8,9,10.
+	for i, r := range recs {
+		if want := uint64(7 + i); r.ID != want {
+			t.Fatalf("record %d has ID %d, want %d", i, r.ID, want)
+		}
+	}
+}
+
+func TestMetricsRegistry(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("atpg.backtracks")
+	if c != m.Counter("atpg.backtracks") {
+		t.Fatal("counter handle must be stable")
+	}
+	c.Inc()
+	c.Add(41)
+	m.Gauge("ccg.nodes").Set(17)
+	snap := m.Snapshot()
+	if snap["atpg.backtracks"] != 42 || snap["ccg.nodes"] != 17 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]int64
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("WriteJSON output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded["atpg.backtracks"] != 42 || decoded["ccg.nodes"] != 17 {
+		t.Fatalf("decoded = %v", decoded)
+	}
+}
+
+func TestCountersAreRaceFree(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Counter("n").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if v := m.Counter("n").Value(); v != 8000 {
+		t.Fatalf("counter = %d, want 8000", v)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	recs := []SpanRecord{
+		{ID: 1, Name: "prepare", Dur: 10 * time.Millisecond},
+		{ID: 2, Name: "atpg/CPU", Dur: 6 * time.Millisecond},
+		{ID: 3, Name: "atpg/GCD", Dur: 2 * time.Millisecond},
+		{ID: 4, Name: "synth/CPU", Dur: time.Millisecond},
+	}
+	stats := Summarize(recs)
+	if len(stats) != 3 {
+		t.Fatalf("got %d phases, want 3", len(stats))
+	}
+	if stats[0].Phase != "prepare" || stats[1].Phase != "atpg" {
+		t.Fatalf("unexpected ordering: %+v", stats)
+	}
+	if stats[1].Count != 2 || stats[1].Total != 8*time.Millisecond || stats[1].Max != 6*time.Millisecond {
+		t.Fatalf("atpg aggregate wrong: %+v", stats[1])
+	}
+	text := FormatSummary(stats)
+	for _, want := range []string{"phase", "prepare", "atpg", "synth"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("summary missing %q:\n%s", want, text)
+		}
+	}
+	if FormatSummary(nil) != "(no spans recorded)\n" {
+		t.Error("empty summary placeholder missing")
+	}
+}

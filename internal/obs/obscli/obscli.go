@@ -1,0 +1,146 @@
+// Package obscli wires the obs observability layer into the command-line
+// tools: every cmd/ binary registers the same -trace, -metrics,
+// -cpuprofile and -memprofile flags through AddFlags, starts a Session
+// after flag parsing, and closes it on exit to flush the requested
+// outputs. Keeping the wiring here means the five tools stay one line
+// each and the flags never drift apart.
+package obscli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"repro/internal/obs"
+)
+
+// Config holds the parsed observability flag values.
+type Config struct {
+	Trace      string
+	Metrics    string
+	CPUProfile string
+	MemProfile string
+	TraceCap   int
+}
+
+// AddFlags registers the shared observability flags on fs (usually
+// flag.CommandLine) and returns the destination Config.
+func AddFlags(fs *flag.FlagSet) *Config {
+	c := &Config{}
+	fs.StringVar(&c.Trace, "trace", "", "write an NDJSON span trace to `file`")
+	fs.StringVar(&c.Metrics, "metrics", "", "write the metrics registry as JSON to `file`")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to `file`")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile to `file`")
+	fs.IntVar(&c.TraceCap, "trace-cap", 0, "span ring-buffer capacity (0 = default)")
+	return c
+}
+
+// Session is a started observability capture; Close flushes every output
+// the flags requested.
+type Session struct {
+	cpuFile     *os.File
+	memFile     *os.File
+	traceFile   *os.File
+	metricsFile *os.File
+}
+
+// Start enables the obs layer (when -trace or -metrics asked for output)
+// and begins CPU profiling (when -cpuprofile did). Every output file is
+// created here, up front, so a bad path fails before the flow runs
+// instead of silently losing the capture at exit.
+func (c *Config) Start() (*Session, error) {
+	s := &Session{}
+	if c.Trace != "" || c.Metrics != "" {
+		obs.Enable(c.TraceCap)
+	}
+	open := func(dst **os.File, path string) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			s.closeFiles()
+			return fmt.Errorf("obscli: %w", err)
+		}
+		*dst = f
+		return nil
+	}
+	if err := open(&s.traceFile, c.Trace); err != nil {
+		return nil, err
+	}
+	if err := open(&s.metricsFile, c.Metrics); err != nil {
+		return nil, err
+	}
+	if err := open(&s.memFile, c.MemProfile); err != nil {
+		return nil, err
+	}
+	if err := open(&s.cpuFile, c.CPUProfile); err != nil {
+		return nil, err
+	}
+	if s.cpuFile != nil {
+		if err := pprof.StartCPUProfile(s.cpuFile); err != nil {
+			s.closeFiles()
+			return nil, fmt.Errorf("obscli: start cpu profile: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// Close stops CPU profiling and writes the heap profile, span trace, and
+// metrics snapshot to their pre-opened files. It returns the first error
+// but attempts every output.
+func (s *Session) Close() error {
+	if s == nil {
+		return nil
+	}
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+	}
+	if s.memFile != nil {
+		runtime.GC()
+		keep(writeTo(s.memFile, func(f *os.File) error {
+			return pprof.WriteHeapProfile(f)
+		}))
+	}
+	if s.traceFile != nil {
+		keep(writeTo(s.traceFile, func(f *os.File) error {
+			return obs.T().WriteNDJSON(f)
+		}))
+	}
+	if s.metricsFile != nil {
+		keep(writeTo(s.metricsFile, func(f *os.File) error {
+			return obs.M().WriteJSON(f)
+		}))
+	}
+	keep(s.closeFiles())
+	return firstErr
+}
+
+// closeFiles closes every open output handle, returning the first error.
+func (s *Session) closeFiles() error {
+	var firstErr error
+	for _, f := range []**os.File{&s.cpuFile, &s.memFile, &s.traceFile, &s.metricsFile} {
+		if *f != nil {
+			if err := (*f).Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			*f = nil
+		}
+	}
+	return firstErr
+}
+
+func writeTo(f *os.File, fill func(*os.File) error) error {
+	if err := fill(f); err != nil {
+		return fmt.Errorf("obscli: write %s: %w", f.Name(), err)
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package obscli
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestSessionWritesTraceAndMetrics(t *testing.T) {
+	defer obs.Disable()
+	dir := t.TempDir()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cfg := AddFlags(fs)
+	tracePath := filepath.Join(dir, "t.ndjson")
+	metricsPath := filepath.Join(dir, "m.json")
+	if err := fs.Parse([]string{"-trace", tracePath, "-metrics", metricsPath}); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := cfg.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obs.Enabled() {
+		t.Fatal("Start must enable obs when -trace is set")
+	}
+	sp := obs.Start(nil, "phase/core")
+	obs.C("unit.count").Add(3)
+	sp.End()
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(trace), `"name":"phase/core"`) {
+		t.Errorf("trace missing span: %s", trace)
+	}
+	raw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]int64
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, raw)
+	}
+	if snap["unit.count"] != 3 {
+		t.Errorf("metrics = %v", snap)
+	}
+}
+
+func TestSessionNoFlagsIsInert(t *testing.T) {
+	defer obs.Disable()
+	obs.Disable()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cfg := AddFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := cfg.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Enabled() {
+		t.Fatal("no flags must leave obs disabled")
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionBadPathFailsAtStart(t *testing.T) {
+	defer obs.Disable()
+	bad := filepath.Join(t.TempDir(), "missing-dir", "t.ndjson")
+	for _, flagName := range []string{"-trace", "-metrics", "-cpuprofile", "-memprofile"} {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		cfg := AddFlags(fs)
+		if err := fs.Parse([]string{flagName, bad}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cfg.Start(); err == nil {
+			t.Errorf("%s with an unwritable path must fail at Start, before the flow runs", flagName)
+		}
+	}
+}
+
+func TestSessionCPUAndMemProfiles(t *testing.T) {
+	defer obs.Disable()
+	dir := t.TempDir()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cfg := AddFlags(fs)
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := cfg.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile is non-trivial.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}

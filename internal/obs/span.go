@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTraceCap is the span ring-buffer capacity used when Enable or
+// NewTracer is given a non-positive one.
+const DefaultTraceCap = 1 << 14
+
+// SpanRecord is one finished span. Start is the offset from the tracer's
+// epoch (its creation time), so records from one run share a timeline.
+type SpanRecord struct {
+	ID     uint64
+	Parent uint64 // 0 for root spans
+	Name   string
+	Start  time.Duration
+	Dur    time.Duration
+}
+
+// Tracer records finished spans into a fixed-capacity ring buffer: when
+// the ring is full the oldest record is overwritten, so a long run keeps
+// its most recent history and never grows without bound.
+type Tracer struct {
+	epoch  time.Time
+	nextID atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []SpanRecord
+	cap   int
+	head  int // oldest record once the ring is full
+	total uint64
+}
+
+// NewTracer returns a tracer with the given ring capacity (0 or negative
+// selects DefaultTraceCap).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{epoch: time.Now(), cap: capacity}
+}
+
+// Span is one in-flight timed operation. A nil *Span is a valid no-op:
+// Start on it returns nil and End on it does nothing, which is how
+// disabled instrumentation stays near free.
+type Span struct {
+	tracer *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+}
+
+// Start begins a root span. Nil-safe: a nil tracer returns a nil span.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{tracer: t, id: t.nextID.Add(1), name: name, start: time.Now()}
+}
+
+// Start begins a child span. Nil-safe.
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := s.tracer.Start(name)
+	c.parent = s.id
+	return c
+}
+
+// End finishes the span and records it. Nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.tracer
+	rec := SpanRecord{
+		ID:     s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Start:  s.start.Sub(t.epoch),
+		Dur:    time.Since(s.start),
+	}
+	t.mu.Lock()
+	if len(t.ring) < t.cap {
+		t.ring = append(t.ring, rec)
+	} else {
+		t.ring[t.head] = rec
+		t.head = (t.head + 1) % t.cap
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Records returns the retained spans, oldest first (in End order).
+func (t *Tracer) Records() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(t.ring))
+	out = append(out, t.ring[t.head:]...)
+	out = append(out, t.ring[:t.head]...)
+	return out
+}
+
+// Dropped returns how many spans were overwritten by ring wraparound.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total - uint64(len(t.ring))
+}
+
+// WriteNDJSON writes one JSON object per retained span, oldest first:
+//
+//	{"id":7,"parent":1,"name":"atpg/CPU","start_us":152,"dur_us":48211}
+func (t *Tracer) WriteNDJSON(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	for _, r := range t.Records() {
+		_, err := fmt.Fprintf(w, "{\"id\":%d,\"parent\":%d,\"name\":%q,\"start_us\":%d,\"dur_us\":%d}\n",
+			r.ID, r.Parent, r.Name, r.Start.Microseconds(), r.Dur.Microseconds())
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// PhaseStat aggregates the spans of one flow phase — the first
+// '/'-separated segment of the span name, so "atpg/CPU" and "atpg/GCD"
+// both land in phase "atpg".
+type PhaseStat struct {
+	Phase string
+	Count int
+	Total time.Duration
+	Max   time.Duration
+}
+
+// Summarize groups span records by phase. Parent spans (e.g. "prepare")
+// aggregate separately from their children (e.g. "synth/CPU"), so the
+// table reads as an inclusive-time profile per phase.
+func Summarize(recs []SpanRecord) []PhaseStat {
+	agg := map[string]*PhaseStat{}
+	for _, r := range recs {
+		phase := r.Name
+		if i := strings.IndexByte(phase, '/'); i >= 0 {
+			phase = phase[:i]
+		}
+		st := agg[phase]
+		if st == nil {
+			st = &PhaseStat{Phase: phase}
+			agg[phase] = st
+		}
+		st.Count++
+		st.Total += r.Dur
+		if r.Dur > st.Max {
+			st.Max = r.Dur
+		}
+	}
+	out := make([]PhaseStat, 0, len(agg))
+	for _, st := range agg {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Phase < out[j].Phase
+	})
+	return out
+}
+
+// FormatSummary renders phase statistics as an aligned text table.
+func FormatSummary(stats []PhaseStat) string {
+	if len(stats) == 0 {
+		return "(no spans recorded)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %-14s %6s %12s %12s\n", "phase", "spans", "total", "max")
+	for _, st := range stats {
+		fmt.Fprintf(&b, "  %-14s %6d %12s %12s\n",
+			st.Phase, st.Count, st.Total.Round(time.Microsecond), st.Max.Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -287,7 +287,10 @@ func (o *Table3Options) withDefaults() Table3Options {
 	return v
 }
 
-// SampleFaults picks a deterministic sample of n faults.
+// SampleFaults picks a deterministic, seed-dependent sample of n faults.
+// The fault list is divided into n equal strata and one fault is drawn
+// from each, so the sample stays spread over the whole list while the
+// xorshift stream decides the position inside every stratum.
 func SampleFaults(faults []gate.Fault, n int, seed uint64) []gate.Fault {
 	if n >= len(faults) {
 		return faults
@@ -295,13 +298,19 @@ func SampleFaults(faults []gate.Fault, n int, seed uint64) []gate.Fault {
 	out := make([]gate.Fault, 0, n)
 	x := seed | 1
 	stride := float64(len(faults)) / float64(n)
-	pos := 0.0
-	for len(out) < n && int(pos) < len(faults) {
+	for i := 0; i < n; i++ {
 		x ^= x << 13
 		x ^= x >> 7
 		x ^= x << 17
-		out = append(out, faults[int(pos)])
-		pos += stride
+		lo := int(float64(i) * stride)
+		hi := int(float64(i+1) * stride)
+		if hi > len(faults) {
+			hi = len(faults)
+		}
+		if hi <= lo {
+			hi = lo + 1
+		}
+		out = append(out, faults[lo+int(x%uint64(hi-lo))])
 	}
 	return out
 }

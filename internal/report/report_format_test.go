@@ -1,0 +1,104 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gate"
+	"repro/internal/soc"
+)
+
+func TestFormatVersionTableEmpty(t *testing.T) {
+	got := FormatVersionTable("GCD", nil)
+	if got != "GCD: no versions\n" {
+		t.Errorf("empty table = %q, want the no-versions line", got)
+	}
+}
+
+func TestFormatVersionTablePopulated(t *testing.T) {
+	rows := []VersionRow{
+		{Label: "Version 1", Latencies: map[string]int{"->Out": 6, "In->": 3}, Cells: 0},
+		{Label: "Version 2", Latencies: map[string]int{"->Out": 1, "In->": 1}, Cells: 42},
+	}
+	got := FormatVersionTable("CPU", rows)
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("formatted %d lines, want header + column row + 2 data rows:\n%s", len(lines), got)
+	}
+	if !strings.Contains(lines[0], "CPU transparency versions") {
+		t.Errorf("missing title line: %q", lines[0])
+	}
+	// Columns are sorted: "->Out" before "In->", then "ovhd".
+	outCol := strings.Index(lines[1], "->Out")
+	inCol := strings.Index(lines[1], "In->")
+	ovhdCol := strings.Index(lines[1], "ovhd")
+	if outCol < 0 || inCol < 0 || ovhdCol < 0 || !(outCol < inCol && inCol < ovhdCol) {
+		t.Errorf("column order wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "Version 1") || !strings.Contains(lines[3], "42") {
+		t.Errorf("data rows wrong:\n%s", got)
+	}
+}
+
+func TestFormatFigure10Empty(t *testing.T) {
+	if got := FormatFigure10(nil); got != "(no points)\n" {
+		t.Errorf("empty figure = %q, want the no-points line", got)
+	}
+}
+
+func TestMakeTable2ZeroArea(t *testing.T) {
+	// A flow over a chip with no testable cores has zero original area;
+	// MakeTable2 must refuse instead of dividing by zero or indexing the
+	// (empty) point list.
+	f := &core.Flow{Chip: &soc.Chip{Name: "empty"}, Cores: map[string]*core.Artifacts{}}
+	if _, err := MakeTable2(f, nil); err == nil {
+		t.Fatal("MakeTable2 on a zero-area flow should error")
+	} else if !strings.Contains(err.Error(), "zero original area") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func syntheticFaults(n int) []gate.Fault {
+	faults := make([]gate.Fault, n)
+	for i := range faults {
+		faults[i] = gate.Fault{Line: i, Stuck: byte(i % 2)}
+	}
+	return faults
+}
+
+func TestSampleFaultsSeedDependent(t *testing.T) {
+	faults := syntheticFaults(1000)
+	a := SampleFaults(faults, 100, 1)
+	b := SampleFaults(faults, 100, 2)
+	if len(a) != 100 || len(b) != 100 {
+		t.Fatalf("lengths %d/%d, want 100", len(a), len(b))
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 produced identical samples; sampling ignores the seed")
+	}
+	// Same seed must reproduce the sample exactly.
+	a2 := SampleFaults(faults, 100, 1)
+	for i := range a {
+		if a[i] != a2[i] {
+			t.Fatalf("seed 1 not deterministic at index %d: %v vs %v", i, a[i], a2[i])
+		}
+	}
+	// Stratification: each pick stays inside its stratum, so the sample is
+	// sorted by position and spread across the whole list.
+	for i := 1; i < len(a); i++ {
+		if a[i].Line <= a[i-1].Line {
+			t.Fatalf("sample not strictly increasing at %d: %d then %d", i, a[i-1].Line, a[i].Line)
+		}
+	}
+	if a[0].Line >= 10 || a[len(a)-1].Line < 990 {
+		t.Errorf("sample not spread over the list: first %d, last %d", a[0].Line, a[len(a)-1].Line)
+	}
+}

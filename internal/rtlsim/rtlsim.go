@@ -9,6 +9,7 @@ package rtlsim
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/rtl"
 )
 
@@ -25,6 +26,8 @@ type Sim struct {
 	// per-pass memoization
 	memo    map[string]uint64
 	onStack map[string]bool
+	// cycles counts Step calls (nil when obs is disabled).
+	cycles *obs.Counter
 }
 
 // New builds a simulator with all registers and inputs at zero.
@@ -49,6 +52,7 @@ func New(c *rtl.Core) (*Sim, error) {
 		muxSel:     map[string]int{},
 		frozen:     map[string]bool{},
 		loadForced: map[string]bool{},
+		cycles:     obs.C("rtlsim.cycles"),
 	}, nil
 }
 
@@ -138,6 +142,7 @@ func (s *Sim) Output(port string) (uint64, error) {
 
 // Step advances one clock cycle.
 func (s *Sim) Step() {
+	s.cycles.Inc()
 	s.beginPass()
 	next := make(map[string]uint64, len(s.c.Regs))
 	for _, r := range s.c.Regs {

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/ccg"
 	"repro/internal/cell"
+	"repro/internal/obs"
 	"repro/internal/soc"
 )
 
@@ -61,14 +62,19 @@ func (r *Result) CoreTAT(core string) int {
 // graph is mutated: system-level test-mux edges are added where needed
 // (the PREPROCESSOR's Address output in Figure 9 gets exactly such a mux).
 func Schedule(ch *soc.Chip, g *ccg.Graph) (*Result, error) {
+	root := obs.Start(nil, "sched")
+	defer root.End()
 	res := &Result{}
 	for _, c := range ch.TestableCores() {
+		sp := obs.Start(root, "sched/"+c.Name)
 		cs, err := scheduleCore(ch, g, c, res)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		res.Cores = append(res.Cores, cs)
 		res.TotalTAT += cs.TAT
+		obs.C("sched.cores_scheduled").Inc()
 	}
 	return res, nil
 }
@@ -95,6 +101,7 @@ func scheduleCore(ch *soc.Chip, g *ccg.Graph, c *soc.Core, res *Result) (*CoreSc
 			g.AddTestMux(pi, target)
 			width := portWidth(c, port)
 			res.MuxArea.Add(cell.Mux2, width)
+			obs.C("sched.test_muxes_added").Inc()
 			added = true
 			p = g.ShortestPath(pis, target, resv)
 			if p == nil {
@@ -126,6 +133,7 @@ func scheduleCore(ch *soc.Chip, g *ccg.Graph, c *soc.Core, res *Result) (*CoreSc
 			g.AddTestMux(source, po)
 			width := portWidth(c, port)
 			res.MuxArea.Add(cell.Mux2, width)
+			obs.C("sched.test_muxes_added").Inc()
 			added = true
 			p = bestPathToPO(g, source, oresv)
 			if p == nil {

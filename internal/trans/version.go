@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/cell"
+	"repro/internal/obs"
 )
 
 // Version is one transparency configuration of a core: the solved
@@ -456,14 +457,20 @@ func (v *Version) computeArea() {
 // latency is one cycle (the paper builds exactly this ladder in
 // Figures 5-8). Versions that do not change latency or area are elided.
 func Versions(base *RCG) ([]*Version, error) {
+	root := obs.Start(nil, "trans/ladder")
+	defer root.End()
 	var out []*Version
+	sp := obs.Start(root, "trans/solve-hscan")
 	v1, err := solveAll(base.Clone(), 1, true)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	out = append(out, v1)
 
+	sp = obs.Start(root, "trans/solve-existing")
 	v2, err := solveAll(base.Clone(), 2, false)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -499,7 +506,9 @@ func Versions(base *RCG) ([]*Version, error) {
 				}
 			}
 		}
+		sp = obs.Start(root, "trans/solve-mux")
 		v, err := solveAll(g, out[len(out)-1].Index+1, false)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -515,6 +524,7 @@ func Versions(base *RCG) ([]*Version, error) {
 		v.Index = i + 1
 		v.Label = fmt.Sprintf("Version %d", i+1)
 	}
+	obs.C("trans.versions_built").Add(int64(len(out)))
 	return out, nil
 }
 
