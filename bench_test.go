@@ -8,8 +8,10 @@
 package repro_test
 
 import (
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/atpg"
 	"repro/internal/ccg"
@@ -199,6 +201,44 @@ func BenchmarkFig10Tradeoff(b *testing.B) {
 	b.ReportMetric(float64(points[0].TAT)/float64(minTAT.TAT), "TAT-reduction-x")
 	b.Logf("Figure 10 (paper: 18 points, ~4.5x TAT reduction):\n%s",
 		report.FormatFigure10(report.Figure10(explore.Pareto(points))))
+}
+
+// BenchmarkEnumerateSerialVsParallel reports the wall-clock ratio between
+// the single-worker and GOMAXPROCS-wide enumeration of the System 1
+// version ladder in one run; the parallel pool produces bit-identical
+// points (asserted here too).
+func BenchmarkEnumerateSerialVsParallel(b *testing.B) {
+	f1, _, _, _ := flows(b)
+	var serialNS, parallelNS int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		serial, err := explore.EnumerateOpts(f1, explore.Options{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		t1 := time.Now()
+		parallel, err := explore.EnumerateOpts(f1, explore.Options{Workers: 0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		t2 := time.Now()
+		serialNS += t1.Sub(t0).Nanoseconds()
+		parallelNS += t2.Sub(t1).Nanoseconds()
+		if len(serial) != len(parallel) {
+			b.Fatalf("parallel enumerated %d points, serial %d", len(parallel), len(serial))
+		}
+		for j := range serial {
+			if serial[j].Label() != parallel[j].Label() || serial[j].TAT != parallel[j].TAT ||
+				serial[j].ChipCells != parallel[j].ChipCells {
+				b.Fatalf("point %d diverged between serial and parallel enumeration", j)
+			}
+		}
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	if parallelNS > 0 {
+		b.ReportMetric(float64(serialNS)/float64(parallelNS), "serial-over-parallel-x")
+	}
 }
 
 // --- E5: Table 1 — design space exploration rows -------------------------

@@ -29,6 +29,7 @@ func main() {
 	t3only := flag.Bool("table3", false, "print only Table 3")
 	cycles := flag.Int("cycles", 192, "random functional cycles for the sequential columns")
 	sample := flag.Int("sample", 1500, "sampled faults for the sequential columns")
+	jobs := flag.Int("j", 0, "parallel evaluation workers (0 = GOMAXPROCS); output is identical at any count")
 	obsCfg := obscli.AddFlags(flag.CommandLine)
 	flag.Parse()
 	sess, err := obsCfg.Start()
@@ -54,7 +55,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		points, err := explore.Enumerate(f)
+		points, err := explore.EnumerateOpts(f, explore.Options{Workers: *jobs})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -25,6 +25,7 @@ func main() {
 	log.SetPrefix("tradeoff: ")
 	system := flag.Int("system", 1, "example system (1 or 2)")
 	pareto := flag.Bool("pareto", false, "print only the Pareto front")
+	jobs := flag.Int("j", 0, "parallel evaluation workers (0 = GOMAXPROCS); output is identical at any count")
 	obsCfg := obscli.AddFlags(flag.CommandLine)
 	flag.Parse()
 	sess, err := obsCfg.Start()
@@ -46,7 +47,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	points, err := explore.Enumerate(f)
+	points, err := explore.EnumerateOpts(f, explore.Options{Workers: *jobs})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -91,6 +91,28 @@ func (g *Graph) NodeIndex(name string) (int, bool) {
 // currently selected transparency version. Memory cores are excluded
 // (they are tested by BIST, Section 5).
 func Build(ch *soc.Chip) (*Graph, error) {
+	return BuildSelection(ch, nil)
+}
+
+// versionFor resolves the transparency version the graph should use for a
+// core: the explicit selection when one is given, the core's own Selected
+// otherwise.
+func versionFor(c *soc.Core, sel map[string]int) *trans.Version {
+	if sel != nil {
+		if idx, ok := sel[c.Name]; ok {
+			return c.VersionAt(idx)
+		}
+	}
+	return c.Version()
+}
+
+// BuildSelection assembles the CCG using an explicit version index per
+// core; cores missing from sel (or all of them, when sel is nil) fall
+// back to their currently selected version. The chip is only read, never
+// written, so concurrent builds over one chip are safe — this is what
+// lets the design-space explorer evaluate version combinations in
+// parallel.
+func BuildSelection(ch *soc.Chip, sel map[string]int) (*Graph, error) {
 	if err := ch.Validate(); err != nil {
 		return nil, err
 	}
@@ -150,7 +172,7 @@ func Build(ch *soc.Chip) (*Graph, error) {
 	}
 	// Transparency pairs of each selected version.
 	for _, c := range ch.TestableCores() {
-		v := c.Version()
+		v := versionFor(c, sel)
 		if v == nil {
 			continue
 		}

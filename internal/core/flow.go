@@ -9,6 +9,8 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/atpg"
 	"repro/internal/bist"
@@ -176,10 +178,95 @@ func (e *Evaluation) ChipDFTGrids() int {
 // Evaluate builds the CCG for the chip's current version selection and
 // schedules every core test.
 func (f *Flow) Evaluate() (*Evaluation, error) {
+	return f.evaluate(f.CurrentSelection())
+}
+
+// EvaluateSelection builds the CCG and schedule for an explicit version
+// selection (core name -> version index) without touching the chip's own
+// selection: cores missing from sel keep their current version,
+// out-of-range indices are clamped exactly as SelectVersions would. The
+// flow and chip are only read, so concurrent EvaluateSelection calls over
+// one prepared flow are safe — this is the reentrant entry point the
+// parallel design-space explorer uses.
+func (f *Flow) EvaluateSelection(sel map[string]int) (*Evaluation, error) {
+	return f.evaluate(f.canonSelection(sel))
+}
+
+// CurrentSelection returns the selected version index per testable core.
+func (f *Flow) CurrentSelection() map[string]int {
+	out := map[string]int{}
+	for _, c := range f.Chip.TestableCores() {
+		out[c.Name] = c.Selected
+	}
+	return out
+}
+
+// canonSelection completes sel against the current selection and clamps
+// indices into each core's ladder, mirroring SelectVersions, so every
+// distinct chip configuration has exactly one canonical map.
+func (f *Flow) canonSelection(sel map[string]int) map[string]int {
+	out := map[string]int{}
+	for _, c := range f.Chip.TestableCores() {
+		idx, ok := sel[c.Name]
+		if !ok {
+			idx = c.Selected
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(c.Versions) {
+			idx = len(c.Versions) - 1
+		}
+		out[c.Name] = idx
+	}
+	return out
+}
+
+// SelectionKey returns a canonical signature of the given selection plus
+// the flow's current forced-mux set — the memoization key for evaluation
+// caches: two calls yielding the same key produce numerically identical
+// Evaluations. Cores are sorted by name; forced muxes are sorted too
+// (placement order only affects tie-breaking among equal-arrival paths,
+// never the reported times or areas).
+func (f *Flow) SelectionKey(sel map[string]int) string {
+	sel = f.canonSelection(sel)
+	names := make([]string, 0, len(sel))
+	for n := range sel {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s=%d;", n, sel[n])
+	}
+	if len(f.ForcedMuxes) > 0 {
+		muxes := make([]string, 0, len(f.ForcedMuxes))
+		for _, fm := range f.ForcedMuxes {
+			dir := "out"
+			if fm.Input {
+				dir = "in"
+			}
+			muxes = append(muxes, fm.Core+"."+fm.Port+"."+dir)
+		}
+		sort.Strings(muxes)
+		b.WriteString("|mux:")
+		for _, m := range muxes {
+			b.WriteString(m)
+			b.WriteString(";")
+		}
+	}
+	return b.String()
+}
+
+// evaluate is the selection-pure core of Evaluate/EvaluateSelection: sel
+// must be canonical (every testable core present, indices in range). It
+// must not write any state reachable from f — the parallel explorer runs
+// many evaluations over one flow at once.
+func (f *Flow) evaluate(sel map[string]int) (*Evaluation, error) {
 	root := obs.Start(nil, "evaluate")
 	defer root.End()
 	sp := obs.Start(root, "ccg/build")
-	g, err := ccg.Build(f.Chip)
+	g, err := ccg.BuildSelection(f.Chip, sel)
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -203,11 +290,11 @@ func (f *Flow) Evaluate() (*Evaluation, error) {
 	e.MuxArea = forcedArea
 	e.MuxArea.AddArea(s.MuxArea)
 	sp = obs.Start(root, "ctrl/generate")
-	e.Controller = ctrl.Generate(f.Chip, s)
+	e.Controller = ctrl.GenerateSelection(f.Chip, s, sel)
 	sp.End()
 	e.CtrlArea = e.Controller.Area
 	for _, c := range f.Chip.TestableCores() {
-		if v := c.Version(); v != nil {
+		if v := c.VersionAt(sel[c.Name]); v != nil {
 			e.TransArea.AddArea(v.Area)
 		}
 	}

@@ -33,6 +33,14 @@ type Controller struct {
 // core plus setup/done, a clock-gate per core, and one transparency-mode
 // select per distinct transparency path in use.
 func Generate(ch *soc.Chip, res *sched.Result) *Controller {
+	return GenerateSelection(ch, res, nil)
+}
+
+// GenerateSelection sizes the controller for an explicit version index
+// per core; cores missing from sel fall back to their currently selected
+// version. The chip is only read, so selection-pure evaluations can
+// generate controllers concurrently.
+func GenerateSelection(ch *soc.Chip, res *sched.Result, sel map[string]int) *Controller {
 	c := &Controller{}
 	cores := ch.TestableCores()
 	c.States = len(cores) + 2
@@ -45,7 +53,13 @@ func Generate(ch *soc.Chip, res *sched.Result) *Controller {
 	}
 	// Transparency-mode selects: one per core version in use.
 	for _, core := range cores {
-		if v := core.Version(); v != nil {
+		v := core.Version()
+		if sel != nil {
+			if idx, ok := sel[core.Name]; ok {
+				v = core.VersionAt(idx)
+			}
+		}
+		if v != nil {
 			c.Signals = append(c.Signals, Signal{
 				Name:   fmt.Sprintf("tmode_%s", core.Name),
 				Core:   core.Name,

@@ -8,11 +8,19 @@
 //
 // and degenerates to system-level test multiplexers when a mux becomes
 // cheaper than any remaining version upgrade.
+//
+// Enumeration is evaluated by a bounded worker pool over the selection-pure
+// core.Flow.EvaluateSelection, so the |versions|^n tree uses every CPU; the
+// output is identical at any worker count. An optional Cache memoizes
+// evaluations across Enumerate and Improve.
 package explore
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/ccg"
 	"repro/internal/core"
@@ -45,48 +53,193 @@ func (p Point) Label() string {
 	return s
 }
 
+// Options tunes the explorer.
+type Options struct {
+	// Workers bounds Enumerate's evaluation worker pool; <= 0 selects
+	// runtime.GOMAXPROCS(0). The result is identical at any worker count.
+	Workers int
+	// Cache, when non-nil, memoizes evaluations. One cache serves one
+	// prepared flow; share it between Enumerate and Improve so the
+	// improvement walk reuses points the enumeration already visited.
+	Cache *Cache
+}
+
+// Cache memoizes chip-level evaluations keyed by the canonical
+// (selection, forced-mux set) signature of core.Flow.SelectionKey. It is
+// safe for concurrent use.
+type Cache struct {
+	mu sync.Mutex
+	m  map[string]*core.Evaluation
+}
+
+// NewCache returns an empty evaluation cache.
+func NewCache() *Cache { return &Cache{m: map[string]*core.Evaluation{}} }
+
+// Evaluate returns the memoized evaluation for the selection, computing
+// and storing it on a miss. A nil cache simply evaluates. Cached
+// evaluations are shared between callers, which must treat them as
+// read-only.
+func (c *Cache) Evaluate(f *core.Flow, sel map[string]int) (*core.Evaluation, error) {
+	if c == nil {
+		return f.EvaluateSelection(sel)
+	}
+	key := f.SelectionKey(sel)
+	c.mu.Lock()
+	e, ok := c.m[key]
+	c.mu.Unlock()
+	if ok {
+		obs.C("explore.cache_hits").Inc()
+		return e, nil
+	}
+	obs.C("explore.cache_misses").Inc()
+	e, err := f.EvaluateSelection(sel)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if prev, ok := c.m[key]; ok {
+		e = prev // a concurrent miss stored first; keep one canonical value
+	} else {
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	return e, nil
+}
+
+// Len reports how many evaluations the cache holds.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// allSelections lists every core-version combination in the fixed
+// enumeration order (the first core varies slowest). A core with an empty
+// version ladder yields no combinations.
+func allSelections(cores []*soc.Core) []map[string]int {
+	total := 1
+	for _, c := range cores {
+		total *= len(c.Versions)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]map[string]int, 0, total)
+	idx := make([]int, len(cores))
+	for {
+		sel := make(map[string]int, len(cores))
+		for i, c := range cores {
+			sel[c.Name] = idx[i]
+		}
+		out = append(out, sel)
+		k := len(cores) - 1
+		for k >= 0 {
+			idx[k]++
+			if idx[k] < len(cores[k].Versions) {
+				break
+			}
+			idx[k] = 0
+			k--
+		}
+		if k < 0 {
+			break
+		}
+	}
+	return out
+}
+
 // Enumerate evaluates every combination of core versions, returning the
 // points sorted by chip overhead then TAT (the x-axis ordering of
-// Figure 10).
+// Figure 10). Evaluation runs on a GOMAXPROCS-wide worker pool; the
+// chip's own version selection is never touched.
 func Enumerate(f *core.Flow) ([]Point, error) {
+	return EnumerateOpts(f, Options{})
+}
+
+// EnumerateOpts is Enumerate with explicit worker-pool and cache control.
+// Points, their values and their order are identical at any worker count:
+// selections are generated in one deterministic order, evaluated
+// selection-pure, placed by index, and sorted exactly as the serial path
+// sorts.
+func EnumerateOpts(f *core.Flow, o Options) ([]Point, error) {
 	sp := obs.Start(nil, "explore/enumerate")
 	defer sp.End()
 	cPoints := obs.C("explore.points_evaluated")
-	cores := f.Chip.TestableCores()
-	var points []Point
-	sel := map[string]int{}
-	var rec func(i int) error
-	rec = func(i int) error {
-		if i == len(cores) {
-			chosen := map[string]int{}
-			for k, v := range sel {
-				chosen[k] = v
-			}
-			f.SelectVersions(chosen)
-			e, err := f.Evaluate()
-			if err != nil {
-				return err
-			}
-			points = append(points, Point{
-				Selection: chosen,
-				ChipCells: e.ChipDFTCells(),
-				TAT:       e.TAT,
-				Eval:      e,
-			})
-			cPoints.Inc()
-			return nil
+	sels := allSelections(f.Chip.TestableCores())
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sels) {
+		workers = len(sels)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	obs.G("explore.parallel_workers").Set(int64(workers))
+	points := make([]Point, len(sels))
+	evalAt := func(i int) error {
+		e, err := o.Cache.Evaluate(f, sels[i])
+		if err != nil {
+			return err
 		}
-		c := cores[i]
-		for v := 0; v < len(c.Versions); v++ {
-			sel[c.Name] = v
-			if err := rec(i + 1); err != nil {
-				return err
-			}
+		points[i] = Point{
+			Selection: sels[i],
+			ChipCells: e.ChipDFTCells(),
+			TAT:       e.TAT,
+			Eval:      e,
 		}
+		cPoints.Inc()
 		return nil
 	}
-	if err := rec(0); err != nil {
-		return nil, err
+	if workers == 1 {
+		for i := range sels {
+			if err := evalAt(i); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		// Force the lazily built rtl name indexes into existence before
+		// the pool shares them read-only.
+		for _, c := range f.Chip.Cores {
+			c.RTL.Lookup(c.RTL.Name)
+		}
+		var (
+			next   atomic.Int64
+			failed atomic.Bool
+			wg     sync.WaitGroup
+			errMu  sync.Mutex
+			first  error
+		)
+		next.Store(-1)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i >= len(sels) || failed.Load() {
+						return
+					}
+					if err := evalAt(i); err != nil {
+						errMu.Lock()
+						if first == nil {
+							first = err
+						}
+						errMu.Unlock()
+						failed.Store(true)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if first != nil {
+			return nil, first
+		}
 	}
 	sort.Slice(points, func(i, j int) bool {
 		if points[i].ChipCells != points[j].ChipCells {
@@ -97,11 +250,21 @@ func Enumerate(f *core.Flow) ([]Point, error) {
 	return points, nil
 }
 
-// Pareto filters points to the non-dominated area/TAT front.
+// Pareto filters points to the non-dominated area/TAT front. Input order
+// does not matter: the points are sorted by area then TAT into a copy
+// before the scan, so unsorted or tied slices yield the same front.
 func Pareto(points []Point) []Point {
+	sorted := make([]Point, len(points))
+	copy(sorted, points)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].ChipCells != sorted[j].ChipCells {
+			return sorted[i].ChipCells < sorted[j].ChipCells
+		}
+		return sorted[i].TAT < sorted[j].TAT
+	})
 	var out []Point
 	best := int(^uint(0) >> 1)
-	for _, p := range points { // already sorted by area asc
+	for _, p := range sorted {
 		if p.TAT < best {
 			best = p.TAT
 			out = append(out, p)
@@ -183,26 +346,33 @@ func (c Cost) Eval(deltaTAT, deltaArea int) float64 {
 	return c.W1*float64(deltaTAT) + c.W2*float64(deltaArea)
 }
 
-// Candidates lists each core's next-version replacement with its
-// estimated ΔTAT, its ΔA, and the weighted cost — the raw material of the
-// Section 5.2 loop, exposed for callers that drive their own policy.
-func Candidates(f *core.Flow, e *core.Evaluation, cost Cost) []Step {
+// candidateSteps lists each core's next-version replacement with its
+// estimated ΔTAT and exact ΔA — the raw material both Candidates and the
+// Improve walk rank, kept in one place so the two cannot drift.
+func candidateSteps(f *core.Flow, e *core.Evaluation) []Step {
 	var out []Step
 	for _, c := range f.Chip.TestableCores() {
 		if c.Selected+1 >= len(c.Versions) {
 			continue
 		}
-		dTAT := estimateDeltaTAT(f, e, c)
 		cur := c.Versions[c.Selected].Area
 		next := c.Versions[c.Selected+1].Area
 		out = append(out, Step{
 			Core:      c.Name,
 			Version:   c.Selected + 1,
-			DeltaTAT:  dTAT,
+			DeltaTAT:  estimateDeltaTAT(f, e, c),
 			DeltaArea: next.Cells() - cur.Cells(),
 		})
 	}
 	obs.C("explore.moves_proposed").Add(int64(len(out)))
+	return out
+}
+
+// Candidates lists each core's next-version replacement with its
+// estimated ΔTAT, its ΔA, and the weighted cost — the raw material of the
+// Section 5.2 loop, exposed for callers that drive their own policy.
+func Candidates(f *core.Flow, e *core.Evaluation, cost Cost) []Step {
+	out := candidateSteps(f, e)
 	sort.Slice(out, func(i, j int) bool {
 		return cost.Eval(out[i].DeltaTAT, out[i].DeltaArea) > cost.Eval(out[j].DeltaTAT, out[j].DeltaArea)
 	})
@@ -213,12 +383,19 @@ func Candidates(f *core.Flow, e *core.Evaluation, cost Cost) []Step {
 // For MinimizeTAT, budget is the maximum chip-level DFT overhead in
 // cells; for MinimizeArea, budget is the maximum TAT in cycles.
 func Improve(f *core.Flow, obj Objective, budget int) (*Result, error) {
+	return ImproveOpts(f, obj, budget, Options{})
+}
+
+// ImproveOpts is Improve with an optional evaluation cache (Workers is
+// ignored; the walk is inherently sequential). Every accepted move
+// strictly reduces the TAT — candidates whose estimated gain does not
+// materialize are rejected, never applied.
+func ImproveOpts(f *core.Flow, obj Objective, budget int, o Options) (*Result, error) {
 	root := obs.Start(nil, "explore/improve")
 	defer root.End()
-	cProposed := obs.C("explore.moves_proposed")
 	cAccepted := obs.C("explore.moves_accepted")
 	cRejected := obs.C("explore.moves_rejected")
-	e, err := f.Evaluate()
+	e, err := o.Cache.Evaluate(f, f.CurrentSelection())
 	if err != nil {
 		return nil, err
 	}
@@ -233,82 +410,52 @@ func Improve(f *core.Flow, obj Objective, budget int) (*Result, error) {
 		if obj == MinimizeArea && e.TAT <= budget {
 			return true, nil // TAT constraint met
 		}
-		type cand struct {
-			core      string
-			version   int
-			deltaTAT  int
-			deltaArea int
-		}
-		var cands []cand
-		for _, c := range f.Chip.TestableCores() {
-			if c.Selected+1 >= len(c.Versions) {
+		// Candidate upgrades that promise a TAT gain (and, under an area
+		// budget, still fit it), best first per the objective's weighting.
+		var cands []Step
+		for _, c := range candidateSteps(f, e) {
+			if c.DeltaTAT <= 0 {
 				continue
 			}
-			dTAT := estimateDeltaTAT(f, e, c)
-			cur := c.Versions[c.Selected].Area
-			next := c.Versions[c.Selected+1].Area
-			cands = append(cands, cand{
-				core:      c.Name,
-				version:   c.Selected + 1,
-				deltaTAT:  dTAT,
-				deltaArea: next.Cells() - cur.Cells(),
-			})
+			if obj == MinimizeTAT && e.ChipDFTCells()+c.DeltaArea > budget {
+				continue
+			}
+			cands = append(cands, c)
 		}
-		cProposed.Add(int64(len(cands)))
-		var pick *cand
 		switch obj {
 		case MinimizeTAT:
-			// w1=1, w2=0: take the largest TAT improvement whose area
-			// still fits the budget.
-			for i := range cands {
-				c := &cands[i]
-				if e.ChipDFTCells()+c.deltaArea > budget {
-					continue
-				}
-				if pick == nil || c.deltaTAT > pick.deltaTAT {
-					pick = c
-				}
-			}
+			// w1=1, w2=0: largest TAT improvement first.
+			sort.SliceStable(cands, func(i, j int) bool { return cands[i].DeltaTAT > cands[j].DeltaTAT })
 		case MinimizeArea:
-			// w1=0, w2=1: cheapest upgrade that still improves TAT.
-			for i := range cands {
-				c := &cands[i]
-				if c.deltaTAT <= 0 {
-					continue
-				}
-				if pick == nil || c.deltaArea < pick.deltaArea {
-					pick = c
-				}
-			}
+			// w1=0, w2=1: cheapest upgrade first.
+			sort.SliceStable(cands, func(i, j int) bool { return cands[i].DeltaArea < cands[j].DeltaArea })
 		}
 		// Section 5.2 fallback: when the best upgrade is pricier than a
 		// system-level test mux (or nothing is left), mux the most
 		// critical input of the core dominating the TAT.
-		if pick == nil || (pick.deltaTAT > 0 && pick.deltaArea > muxFallbackCells(f, pick.core)) {
+		if len(cands) == 0 || cands[0].DeltaArea > muxFallbackCells(f, cands[0].Core) {
 			step, ok, err := placeCriticalMux(f, e)
 			if err != nil {
 				return true, err
 			}
-			if !ok && pick == nil {
+			if !ok && len(cands) == 0 {
 				return true, nil // nothing left to do
 			}
 			if ok {
-				e2, err := f.Evaluate()
+				e2, err := o.Cache.Evaluate(f, f.CurrentSelection())
 				if err != nil {
 					return true, err
 				}
-				if e2.TAT >= e.TAT && pick != nil {
-					// Mux did not help; fall through to the upgrade.
+				overBudget := obj == MinimizeTAT && e2.ChipDFTCells() > budget
+				if e2.TAT >= e.TAT || overBudget {
+					// The mux made nothing better (or blew the budget):
+					// take it back and fall through to the upgrades.
 					f.ForcedMuxes = f.ForcedMuxes[:len(f.ForcedMuxes)-1]
 					cRejected.Inc()
 				} else {
+					step.DeltaTAT = e.TAT - e2.TAT
 					step.TAT = e2.TAT
 					step.ChipCells = e2.ChipDFTCells()
-					if obj == MinimizeTAT && step.ChipCells > budget {
-						f.ForcedMuxes = f.ForcedMuxes[:len(f.ForcedMuxes)-1]
-						cRejected.Inc()
-						return true, nil
-					}
 					res.Steps = append(res.Steps, step)
 					cAccepted.Inc()
 					e = e2
@@ -317,32 +464,35 @@ func Improve(f *core.Flow, obj Objective, budget int) (*Result, error) {
 				}
 			}
 		}
-		if pick == nil {
-			return true, nil
+		// Try upgrades best-estimate first and accept the first one that
+		// actually improves the TAT; the estimate is a heuristic, so a
+		// move that fails to improve is rejected, not applied.
+		for _, c := range cands {
+			trial := f.CurrentSelection()
+			trial[c.Core] = c.Version
+			e2, err := o.Cache.Evaluate(f, trial)
+			if err != nil {
+				return true, err
+			}
+			if e2.TAT >= e.TAT || (obj == MinimizeTAT && e2.ChipDFTCells() > budget) {
+				cRejected.Inc()
+				continue
+			}
+			f.SelectVersions(map[string]int{c.Core: c.Version})
+			res.Steps = append(res.Steps, Step{
+				Core:      c.Core,
+				Version:   c.Version,
+				DeltaTAT:  e.TAT - e2.TAT,
+				DeltaArea: c.DeltaArea,
+				TAT:       e2.TAT,
+				ChipCells: e2.ChipDFTCells(),
+			})
+			cAccepted.Inc()
+			e = e2
+			res.Final = e
+			return false, nil
 		}
-		f.SelectVersions(map[string]int{pick.core: pick.version})
-		e2, err := f.Evaluate()
-		if err != nil {
-			return true, err
-		}
-		if obj == MinimizeTAT && e2.ChipDFTCells() > budget {
-			// Undo and stop: the budget is exhausted.
-			f.SelectVersions(map[string]int{pick.core: pick.version - 1})
-			cRejected.Inc()
-			return true, nil
-		}
-		res.Steps = append(res.Steps, Step{
-			Core:      pick.core,
-			Version:   pick.version,
-			DeltaTAT:  e.TAT - e2.TAT,
-			DeltaArea: pick.deltaArea,
-			TAT:       e2.TAT,
-			ChipCells: e2.ChipDFTCells(),
-		})
-		cAccepted.Inc()
-		e = e2
-		res.Final = e
-		return false, nil
+		return true, nil
 	}
 	for iter := 0; iter < 64; iter++ {
 		stop, err := iterate()
@@ -353,10 +503,7 @@ func Improve(f *core.Flow, obj Objective, budget int) (*Result, error) {
 			break
 		}
 	}
-	res.Selection = map[string]int{}
-	for _, c := range f.Chip.TestableCores() {
-		res.Selection[c.Name] = c.Selected
-	}
+	res.Selection = f.CurrentSelection()
 	res.Final = e
 	return res, nil
 }
@@ -366,8 +513,6 @@ func Improve(f *core.Flow, obj Objective, budget int) (*Result, error) {
 // schedule, weight by the edge latency, and compare against the next
 // version's latency for the same input/output pair.
 func estimateDeltaTAT(f *core.Flow, e *core.Evaluation, c *soc.Core) int {
-	curLat := pairLatencies(c, c.Selected)
-	nextLat := pairLatencies(c, c.Selected+1)
 	usage := map[[2]string]int{}
 	countPath := func(p []ccg.Step) {
 		for _, s := range p {
@@ -394,17 +539,22 @@ func estimateDeltaTAT(f *core.Flow, e *core.Evaluation, c *soc.Core) int {
 			}
 		}
 	}
+	return latencyDelta(usage, pairLatencies(c, c.Selected), pairLatencies(c, c.Selected+1))
+}
+
+// latencyDelta weighs per-pair usage counts against the current and next
+// latency tables. A pair absent from either table is skipped: with no
+// current latency there is nothing to improve, and a pair that disappears
+// in the next version cannot be assumed to have gotten faster.
+func latencyDelta(usage, cur, next map[[2]string]int) int {
 	delta := 0
 	for pair, n := range usage {
-		cur, ok1 := curLat[pair]
-		next, ok2 := nextLat[pair]
-		if !ok1 {
+		c, ok1 := cur[pair]
+		nx, ok2 := next[pair]
+		if !ok1 || !ok2 {
 			continue
 		}
-		if !ok2 {
-			next = 1 // upgraded versions only get faster
-		}
-		delta += n * (cur - next)
+		delta += n * (c - nx)
 	}
 	return delta
 }

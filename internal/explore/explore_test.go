@@ -4,6 +4,9 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/rtl"
+	"repro/internal/soc"
 	"repro/internal/systems"
 )
 
@@ -116,6 +119,117 @@ func TestMinLatencyNotAlwaysMinTAT(t *testing.T) {
 		minTAT.Label(), minTAT.TAT, allFast.Label(), allFast.TAT)
 }
 
+// samePoints asserts two enumerations are identical: same length, same
+// order, and every per-point number equal.
+func samePoints(t *testing.T, want, got []Point) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("point count differs: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.Label() != g.Label() || w.ChipCells != g.ChipCells || w.TAT != g.TAT {
+			t.Fatalf("point %d differs: %s (%d cells, TAT %d) vs %s (%d cells, TAT %d)",
+				i, w.Label(), w.ChipCells, w.TAT, g.Label(), g.ChipCells, g.TAT)
+		}
+		if w.Eval.ChipDFTCells() != g.Eval.ChipDFTCells() || w.Eval.TAT != g.Eval.TAT ||
+			w.Eval.TransCells != g.Eval.TransCells || w.Eval.MuxCells != g.Eval.MuxCells ||
+			w.Eval.CtrlCells != g.Eval.CtrlCells || w.Eval.BISTCycles != g.Eval.BISTCycles {
+			t.Fatalf("point %d evaluation differs", i)
+		}
+	}
+}
+
+// The parallel worker pool must produce bit-identical, identically
+// ordered points to the serial path at any worker count.
+func TestEnumerateParallelMatchesSerial(t *testing.T) {
+	f := flow(t)
+	serial, err := EnumerateOpts(f, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, err := EnumerateOpts(f, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		samePoints(t, serial, par)
+	}
+	// The default entry point (GOMAXPROCS workers) matches too.
+	def, err := Enumerate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePoints(t, serial, def)
+}
+
+// Enumeration must not leave the chip mutated to the last-enumerated
+// selection (the historic bug): selection, forced muxes, and the
+// evaluation of the current point are all unchanged afterwards.
+func TestEnumerateLeavesFlowUnchanged(t *testing.T) {
+	f := flow(t)
+	f.SelectVersions(map[string]int{"CPU": 1})
+	f.ForcedMuxes = append(f.ForcedMuxes, core.ForcedMux{Core: "DISPLAY", Port: "D", Input: true})
+	before := f.CurrentSelection()
+	e0, err := f.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Enumerate(f); err != nil {
+		t.Fatal(err)
+	}
+	after := f.CurrentSelection()
+	for name, idx := range before {
+		if after[name] != idx {
+			t.Errorf("core %s: selection changed %d -> %d across Enumerate", name, idx, after[name])
+		}
+	}
+	if len(f.ForcedMuxes) != 1 {
+		t.Errorf("forced muxes changed: %v", f.ForcedMuxes)
+	}
+	e1, err := f.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.TAT != e0.TAT || e1.ChipDFTCells() != e0.ChipDFTCells() {
+		t.Errorf("observable state drifted: TAT %d -> %d, cells %d -> %d",
+			e0.TAT, e1.TAT, e0.ChipDFTCells(), e1.ChipDFTCells())
+	}
+}
+
+// Starting at the min-TAT point, every remaining upgrade ladder fails to
+// help — the historic walk accepted them anyway (its pick loop maximized
+// ΔTAT without requiring it positive and never rechecked the real TAT)
+// and burned the area budget making TAT worse. No accepted step may
+// increase the TAT.
+func TestImproveNeverAcceptsWorseningMove(t *testing.T) {
+	f := flow(t)
+	points, err := Enumerate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minTAT := MinTATPoint(points)
+	f.SelectVersions(minTAT.Selection)
+	e0, err := f.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Improve(f, MinimizeTAT, e0.ChipDFTCells()+10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := e0.TAT
+	for _, s := range res.Steps {
+		if s.TAT >= last {
+			t.Errorf("accepted step %+v did not reduce TAT (%d -> %d)", s, last, s.TAT)
+		}
+		last = s.TAT
+	}
+	if res.Final.TAT > e0.TAT {
+		t.Errorf("walk worsened TAT: %d -> %d", e0.TAT, res.Final.TAT)
+	}
+}
+
 func TestImproveMinimizeTAT(t *testing.T) {
 	f := flow(t)
 	e0, err := f.Evaluate()
@@ -211,5 +325,137 @@ func TestCandidatesCostOrdering(t *testing.T) {
 	}
 	if pick.DeltaTAT > 0 && e2.TAT >= e.TAT {
 		t.Errorf("estimated ΔTAT %d for %s but actual TAT %d -> %d", pick.DeltaTAT, pick.Core, e.TAT, e2.TAT)
+	}
+}
+
+// Pareto no longer relies on the caller having area-sorted the points.
+func TestParetoUnsortedAndTiedInput(t *testing.T) {
+	pts := []Point{
+		{ChipCells: 30, TAT: 50},
+		{ChipCells: 10, TAT: 100},
+		{ChipCells: 30, TAT: 40}, // ties on area with the 50-TAT point
+		{ChipCells: 20, TAT: 100},
+		{ChipCells: 20, TAT: 80},
+		{ChipCells: 40, TAT: 40}, // dominated by (30, 40)
+	}
+	front := Pareto(pts)
+	want := []Point{{ChipCells: 10, TAT: 100}, {ChipCells: 20, TAT: 80}, {ChipCells: 30, TAT: 40}}
+	if len(front) != len(want) {
+		t.Fatalf("front = %v, want %v", front, want)
+	}
+	for i := range want {
+		if front[i].ChipCells != want[i].ChipCells || front[i].TAT != want[i].TAT {
+			t.Errorf("front[%d] = (%d, %d), want (%d, %d)",
+				i, front[i].ChipCells, front[i].TAT, want[i].ChipCells, want[i].TAT)
+		}
+	}
+	// The input slice must be untouched.
+	if pts[0].ChipCells != 30 || pts[0].TAT != 50 {
+		t.Error("Pareto reordered its input")
+	}
+}
+
+func TestMinTATPointTies(t *testing.T) {
+	pts := []Point{
+		{ChipCells: 20, TAT: 40},
+		{ChipCells: 10, TAT: 40}, // same TAT, less area: must win
+		{ChipCells: 5, TAT: 90},
+	}
+	best := MinTATPoint(pts)
+	if best.ChipCells != 10 || best.TAT != 40 {
+		t.Errorf("MinTATPoint = (%d, %d), want (10, 40)", best.ChipCells, best.TAT)
+	}
+	one := MinTATPoint(pts[2:])
+	if one.ChipCells != 5 || one.TAT != 90 {
+		t.Errorf("single-point MinTATPoint = (%d, %d), want (5, 90)", one.ChipCells, one.TAT)
+	}
+}
+
+// muxFallbackCells must fall back to the default width for cores with no
+// input ports and for unknown cores.
+func TestMuxFallbackCellsZeroInputCore(t *testing.T) {
+	f := &core.Flow{Chip: &soc.Chip{
+		Name: "toy",
+		Cores: []*soc.Core{
+			{Name: "NOIN", RTL: &rtl.Core{Name: "noin", Ports: []rtl.Port{{Name: "O", Dir: rtl.Out, Width: 4}}}},
+			{Name: "WIDE", RTL: &rtl.Core{Name: "wide", Ports: []rtl.Port{{Name: "I", Dir: rtl.In, Width: 12}}}},
+		},
+	}}
+	if got := muxFallbackCells(f, "NOIN"); got != 8 {
+		t.Errorf("zero-input core: got %d, want default 8", got)
+	}
+	if got := muxFallbackCells(f, "MISSING"); got != 8 {
+		t.Errorf("unknown core: got %d, want default 8", got)
+	}
+	if got := muxFallbackCells(f, "WIDE"); got != 12 {
+		t.Errorf("widest input: got %d, want 12", got)
+	}
+}
+
+// A transparency pair that disappears in the next version contributes
+// nothing to the estimate — the old heuristic assumed it got faster
+// (latency 1) and produced bogus deltas.
+func TestLatencyDeltaSkipsMissingPairs(t *testing.T) {
+	ab := [2]string{"A", "B"}
+	cd := [2]string{"C", "D"}
+	usage := map[[2]string]int{ab: 3, cd: 5}
+	cur := map[[2]string]int{ab: 4, cd: 6}
+	next := map[[2]string]int{ab: 1} // cd vanished
+	if got := latencyDelta(usage, cur, next); got != 3*(4-1) {
+		t.Errorf("latencyDelta = %d, want %d (missing pair must be skipped)", got, 3*(4-1))
+	}
+	// Pair unusable in the current version: nothing to improve.
+	if got := latencyDelta(usage, map[[2]string]int{cd: 6}, next); got != 0 {
+		t.Errorf("latencyDelta = %d, want 0 when the pair has no current latency", got)
+	}
+}
+
+// One cache shared by Enumerate and Improve: the improvement walk re-uses
+// points the enumeration already evaluated, and its outcome is identical
+// to the uncached walk.
+func TestCacheSharedBetweenEnumerateAndImprove(t *testing.T) {
+	f := flow(t)
+	e0, err := f.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := e0.ChipDFTCells() + 200
+	plain, err := Improve(f, MinimizeTAT, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reset(f)
+	_, m := obs.Enable(0)
+	defer obs.Disable()
+	cache := NewCache()
+	points, err := EnumerateOpts(f, Options{Workers: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != len(points) {
+		t.Errorf("cache holds %d evaluations, want %d", cache.Len(), len(points))
+	}
+	evalsAfterEnum := m.Counter("core.evaluations").Value()
+	cached, err := ImproveOpts(f, MinimizeTAT, budget, Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := m.Counter("explore.cache_hits").Value(); hits == 0 {
+		t.Error("Improve hit the cache zero times after a full enumeration")
+	}
+	// Every version-upgrade trial lands on an enumerated point; only
+	// forced-mux evaluations may miss.
+	misses := m.Counter("explore.cache_misses").Value() - int64(len(points))
+	evals := m.Counter("core.evaluations").Value() - evalsAfterEnum
+	if evals > misses {
+		t.Errorf("Improve ran %d fresh evaluations but only %d cache misses", evals, misses)
+	}
+	if cached.Final.TAT != plain.Final.TAT || cached.Final.ChipDFTCells() != plain.Final.ChipDFTCells() {
+		t.Errorf("cached walk diverged: TAT %d vs %d, cells %d vs %d",
+			cached.Final.TAT, plain.Final.TAT, cached.Final.ChipDFTCells(), plain.Final.ChipDFTCells())
+	}
+	if len(cached.Steps) != len(plain.Steps) {
+		t.Errorf("cached walk took %d steps, uncached %d", len(cached.Steps), len(plain.Steps))
 	}
 }

@@ -29,10 +29,18 @@ type Core struct {
 // Version returns the currently selected transparency version (nil when
 // the flow has not run).
 func (c *Core) Version() *trans.Version {
-	if c.Selected < 0 || c.Selected >= len(c.Versions) {
+	return c.VersionAt(c.Selected)
+}
+
+// VersionAt returns the transparency version at the given index, or nil
+// when out of range. Unlike Version it does not read Selected, so
+// selection-pure evaluation can look versions up concurrently while the
+// chip's own selection stays untouched.
+func (c *Core) VersionAt(idx int) *trans.Version {
+	if idx < 0 || idx >= len(c.Versions) {
 		return nil
 	}
-	return c.Versions[c.Selected]
+	return c.Versions[idx]
 }
 
 // Pin is a chip-level primary input or output.

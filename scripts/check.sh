@@ -16,7 +16,13 @@ fi
 echo "==> go vet ./..."
 go vet ./...
 
+echo "==> go test -race (parallel enumeration)"
+go test -race -run 'TestEnumerateParallel|TestCacheShared' ./internal/explore/
+
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> go test -bench=Enumerate (smoke)"
+go test -bench='Enumerate' -benchtime=1x -run '^$' ./internal/explore/
 
 echo "==> ok"
