@@ -8,6 +8,7 @@
 package repro_test
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"testing"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/hier"
 	"repro/internal/hscan"
 	"repro/internal/report"
+	"repro/internal/resil"
 	"repro/internal/rtl"
 	"repro/internal/sched"
 	"repro/internal/synth"
@@ -619,6 +621,40 @@ func BenchmarkVectorDelivery(b *testing.B) {
 		got, err := s.CoreInput("DISPLAY", "ALo")
 		if err != nil || got != 0x3C {
 			b.Fatalf("delivery failed: %#x, %v", got, err)
+		}
+	}
+}
+
+// --- Robustness: degradation campaign under random interconnect cuts ----
+
+// BenchmarkDegradationCampaign injects k random CCG-edge cuts into
+// system1 (k = 1..3, eight seeded draws each) and evaluates the degraded
+// flow: the campaign must finish with zero flow errors, and the mean
+// vector-weighted coverage of the testable subset traces the degradation
+// curve reported in EXPERIMENTS.md.
+func BenchmarkDegradationCampaign(b *testing.B) {
+	f1, _, _, _ := flows(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range []int{1, 2, 3} {
+			c := resil.Campaign{Flow: f1, Runs: resil.RandomSets(f1.Chip, 8, k, 1998)}
+			outs, err := c.Execute(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			sum, degraded := 0.0, 0
+			for _, o := range outs {
+				if o.Err != nil {
+					b.Fatalf("run %d (%s): %v", o.Index, resil.FaultSetString(o.Faults), o.Err)
+				}
+				sum += o.Eval.Report.Coverage
+				if o.Eval.Report.Degraded() {
+					degraded++
+				}
+			}
+			mean := sum / float64(len(outs))
+			b.ReportMetric(mean, "mean-coverage-k"+string(rune('0'+k)))
+			b.Logf("k=%d cuts: %d/%d runs degraded, mean coverage %.3f", k, degraded, len(outs), mean)
 		}
 	}
 }

@@ -6,9 +6,13 @@
 //
 //	compare [-system 1|2|0]   (0 = both)
 //	compare -table2 | -table3 (default: both tables)
+//	compare -timeout 30s      (partial Pareto front on expiry)
+//	compare -fault "cut:FROM->TO,..."  (degradation report per system)
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -17,6 +21,7 @@ import (
 	"repro/internal/explore"
 	"repro/internal/obs/obscli"
 	"repro/internal/report"
+	"repro/internal/resil"
 	"repro/internal/soc"
 	"repro/internal/systems"
 )
@@ -30,6 +35,8 @@ func main() {
 	cycles := flag.Int("cycles", 192, "random functional cycles for the sequential columns")
 	sample := flag.Int("sample", 1500, "sampled faults for the sequential columns")
 	jobs := flag.Int("j", 0, "parallel evaluation workers (0 = GOMAXPROCS); output is identical at any count")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound on each enumeration (0 = none); on expiry the partial Pareto front is printed instead of the tables")
+	fault := flag.String("fault", "", "inject faults (see socet -fault) and print each system's degradation report")
 	obsCfg := obscli.AddFlags(flag.CommandLine)
 	flag.Parse()
 	sess, err := obsCfg.Start()
@@ -55,7 +62,25 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		points, err := explore.EnumerateOpts(f, explore.Options{Workers: *jobs})
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		points, err := explore.EnumerateCtx(ctx, f, explore.Options{Workers: *jobs})
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			// Out of time: the completed points still form a consistent
+			// partial sample — print its Pareto front instead of tables
+			// built on an incomplete design space.
+			front := explore.Pareto(points)
+			log.Printf("%s: timeout %v expired after %d design points; partial Pareto front:", ch.Name, *timeout, len(points))
+			for _, p := range front {
+				fmt.Printf("  %-40s %6d cells  %7d cycles\n", p.Label(), p.ChipCells, p.TAT)
+			}
+			printDegradation(f, *fault)
+			continue
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -73,7 +98,33 @@ func main() {
 			}
 			printTable3(t3)
 		}
+		printDegradation(f, *fault)
 	}
+}
+
+// printDegradation injects the -fault spec (if any) into a copy of the
+// flow's chip and prints the resulting degradation report. Faults naming
+// nets or cores absent from this system are reported and skipped, so one
+// spec can run against -system 0.
+func printDegradation(f *core.Flow, spec string) {
+	if spec == "" {
+		return
+	}
+	faults, err := resil.ParseFaults(f.Chip, spec)
+	if err != nil {
+		log.Printf("%s: fault spec does not apply: %v", f.Chip.Name, err)
+		return
+	}
+	damaged, err := resil.Inject(f.Chip, faults...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev, err := f.Fork(damaged).EvaluateDegraded()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("injected %s: TApp %d cycles over testable subset\n%s\n",
+		resil.FaultSetString(faults), dev.TAT, dev.Report.Format())
 }
 
 func printTable2(t *report.Table2) {

@@ -6,11 +6,17 @@
 // Usage:
 //
 //	socet [-system 1|2] [-objective area|tat|none] [-budget N] [-v]
+//	      [-fault "cut:FROM->TO,opaque:CORE,slow:CORE:K,noscan:CORE"]
 //	      [-trace out.ndjson] [-metrics out.json]
 //	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With -v, a per-phase wall-time summary of the whole flow is printed
 // from the recorded spans (tracing is switched on automatically).
+//
+// With -fault, the listed faults are injected into a copy of the chip and
+// the flow evaluates the damaged copy gracefully: the bottom line covers
+// the still-testable subset and a degradation report names what was lost
+// and why (see internal/resil).
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"repro/internal/explore"
 	"repro/internal/obs"
 	"repro/internal/obs/obscli"
+	"repro/internal/resil"
 	"repro/internal/soc"
 	"repro/internal/systems"
 )
@@ -34,6 +41,7 @@ func main() {
 	objective := flag.String("objective", "none", "selection objective: tat (min TAT under area budget), area (min area under TAT budget), none (min-area versions)")
 	budget := flag.Int("budget", 0, "budget for the objective (cells for -objective tat, cycles for -objective area)")
 	verbose := flag.Bool("v", false, "print per-core details and a per-phase timing summary")
+	fault := flag.String("fault", "", "inject faults (comma-separated: cut:FROM->TO, opaque:CORE, slow:CORE[:K], noscan:CORE) and evaluate gracefully")
 	obsCfg := obscli.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -86,9 +94,28 @@ func main() {
 		log.Fatalf("unknown objective %q", *objective)
 	}
 
-	e, err := f.Evaluate()
-	if err != nil {
-		log.Fatal(err)
+	var e *core.Evaluation
+	var report *core.DegradationReport
+	if *fault != "" {
+		faults, err := resil.ParseFaults(f.Chip, *fault)
+		if err != nil {
+			log.Fatal(err)
+		}
+		damaged, err := resil.Inject(f.Chip, faults...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ninjected faults: %s\n", resil.FaultSetString(faults))
+		dev, err := f.Fork(damaged).EvaluateDegraded()
+		if err != nil {
+			log.Fatal(err)
+		}
+		e, report = dev.Evaluation, dev.Report
+	} else {
+		e, err = f.Evaluate()
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Printf("\nchip-level result:\n")
 	fmt.Printf("  transparency logic: %5d cells\n", e.TransCells)
@@ -100,7 +127,10 @@ func main() {
 	if e.BISTCycles > 0 {
 		fmt.Printf("  memory BIST:        %5d cycles (concurrent)\n", e.BISTCycles)
 	}
-	if cands := explore.Candidates(f, e, explore.Cost{W1: 1}); len(cands) > 0 {
+	if report != nil {
+		fmt.Printf("\n%s", report.Format())
+	}
+	if cands := explore.Candidates(f, e, explore.Cost{W1: 1}); report == nil && len(cands) > 0 {
 		best := cands[0]
 		fmt.Printf("  explorer:           %d candidate version upgrades (best: %s -> V%d, est. dTAT %d, dA %d)\n",
 			len(cands), best.Core, best.Version+1, best.DeltaTAT, best.DeltaArea)

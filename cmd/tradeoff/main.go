@@ -4,10 +4,15 @@
 //
 // Usage:
 //
-//	tradeoff [-system 1|2] [-pareto]
+//	tradeoff [-system 1|2] [-pareto] [-timeout 30s]
+//
+// With -timeout, an enumeration that runs out of time prints the Pareto
+// front of the points completed so far instead of failing.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -26,6 +31,7 @@ func main() {
 	system := flag.Int("system", 1, "example system (1 or 2)")
 	pareto := flag.Bool("pareto", false, "print only the Pareto front")
 	jobs := flag.Int("j", 0, "parallel evaluation workers (0 = GOMAXPROCS); output is identical at any count")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound on the enumeration (0 = none); on expiry the partial Pareto front is printed")
 	obsCfg := obscli.AddFlags(flag.CommandLine)
 	flag.Parse()
 	sess, err := obsCfg.Start()
@@ -47,17 +53,38 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	points, err := explore.EnumerateOpts(f, explore.Options{Workers: *jobs})
-	if err != nil {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	points, err := explore.EnumerateCtx(ctx, f, explore.Options{Workers: *jobs})
+	expired := errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+	if err != nil && !expired {
 		log.Fatal(err)
 	}
-	fmt.Printf("Figure 10: test application time vs. chip-level DFT area (%s, %d design points)\n\n",
-		ch.Name, len(points))
-	if *pareto {
+	if expired {
+		if len(points) == 0 {
+			log.Fatalf("timeout %v expired before any design point completed", *timeout)
+		}
+		log.Printf("timeout %v expired: %d design points completed; printing the partial Pareto front", *timeout, len(points))
+		fmt.Printf("Figure 10 (PARTIAL, timed out): test application time vs. chip-level DFT area (%s, %d design points)\n\n",
+			ch.Name, len(points))
 		points = explore.Pareto(points)
-		fmt.Printf("(Pareto front: %d points)\n", len(points))
+		fmt.Printf("(partial Pareto front: %d points)\n", len(points))
+	} else {
+		fmt.Printf("Figure 10: test application time vs. chip-level DFT area (%s, %d design points)\n\n",
+			ch.Name, len(points))
+		if *pareto {
+			points = explore.Pareto(points)
+			fmt.Printf("(Pareto front: %d points)\n", len(points))
+		}
 	}
 	fmt.Print(report.FormatFigure10(report.Figure10(points)))
+	if expired {
+		return
+	}
 
 	fmt.Printf("\nTable 1: design space exploration for %s\n", ch.Name)
 	fmt.Printf("%-58s %8s %9s %6s %6s\n", "Circuit description", "A.Ov.", "TApp.", "FCov.", "TEff.")

@@ -26,7 +26,7 @@ func main() {
 	log.SetFlags(0)
 	// A four-stage moving-average filter: input samples shift through
 	// TAP0..TAP2 while an accumulator adds them up.
-	filter := rtl.NewCore("filter").
+	filter, err := rtl.NewCore("filter").
 		In("Sample", 8).
 		Out("Avg", 8).
 		Reg("TAP0", 8).
@@ -44,7 +44,10 @@ func main() {
 		Wire("ACCUM.q", "add.in0").
 		Wire("TAP0.q", "add.in1").
 		Wire("ACCUM.q", "Avg").
-		MustBuild()
+		Build()
+	if err != nil {
+		log.Fatalf("build filter core: %v", err)
+	}
 
 	// Step 1: HSCAN — thread the registers into scan chains reusing the
 	// existing shift path (Section 2 of the paper).

@@ -77,7 +77,7 @@ func TestRedundantFaultProvedUntestable(t *testing.T) {
 func TestFullScanSequentialCore(t *testing.T) {
 	// An RTL core with registers: full-scan ATPG treats DFFs as pseudo
 	// PIs/POs and should reach high coverage.
-	c := rtl.NewCore("seq").
+	c := must(rtl.NewCore("seq").
 		In("a", 4).In("b", 4).
 		Out("z", 4).
 		Reg("r1", 4).Reg("r2", 4).
@@ -87,7 +87,7 @@ func TestFullScanSequentialCore(t *testing.T) {
 		Wire("r1.q", "add.in0").
 		Wire("r2.q", "add.in1").
 		Wire("add.out", "z").
-		MustBuild()
+		Build())
 	sr, err := synth.Synthesize(c)
 	if err != nil {
 		t.Fatal(err)
@@ -113,14 +113,14 @@ func TestFullScanSequentialCore(t *testing.T) {
 }
 
 func TestMuxHeavyCircuit(t *testing.T) {
-	c := rtl.NewCore("muxy").
+	c := must(rtl.NewCore("muxy").
 		In("a", 4).In("b", 4).In("x", 4).In("y", 4).In("s", 2).
 		Out("z", 4).
 		Mux("m", 4, 4).
 		Wire("a", "m.in0").Wire("b", "m.in1").Wire("x", "m.in2").Wire("y", "m.in3").
 		Wire("s", "m.sel").
 		Wire("m.out", "z").
-		MustBuild()
+		Build())
 	sr, err := synth.Synthesize(c)
 	if err != nil {
 		t.Fatal(err)
@@ -138,13 +138,13 @@ func TestMuxHeavyCircuit(t *testing.T) {
 func TestCloudCoverage(t *testing.T) {
 	// Random-logic cloud: most faults should be testable; efficiency must
 	// account for every fault.
-	c := rtl.NewCore("cloudy").
+	c := must(rtl.NewCore("cloudy").
 		In("a", 8).
 		Out("z", 4).
 		Cloud("ctl", 1, 8, 4, 120).
 		Wire("a", "ctl.in0").
 		Wire("ctl.out", "z").
-		MustBuild()
+		Build())
 	sr, err := synth.Synthesize(c)
 	if err != nil {
 		t.Fatal(err)

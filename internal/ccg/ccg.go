@@ -234,6 +234,23 @@ func (g *Graph) AddTestMux(from, to int) *Edge {
 	return e
 }
 
+// EdgeCount returns the number of edges currently in the graph; together
+// with TruncateEdges it lets a scheduler snapshot the graph before a
+// speculative mutation (test-mux insertion for one core) and roll it back
+// when that core turns out to be unschedulable.
+func (g *Graph) EdgeCount() int { return len(g.Edges) }
+
+// TruncateEdges drops every edge with ID >= n and rebuilds the adjacency
+// lists. Only edges appended after an EdgeCount snapshot (test muxes) are
+// ever removed this way; node set and earlier edges are untouched.
+func (g *Graph) TruncateEdges(n int) {
+	if n < 0 || n >= len(g.Edges) {
+		return
+	}
+	g.Edges = g.Edges[:n]
+	g.rebuildOut()
+}
+
 // Interval is a half-open busy window [Start, End).
 type Interval struct{ Start, End int }
 

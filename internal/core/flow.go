@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -65,6 +66,27 @@ type Flow struct {
 	Opts  Options
 	// ForcedMuxes are applied to every CCG built by Evaluate.
 	ForcedMuxes []ForcedMux
+	// Baseline, when non-nil, is the pristine chip this flow's Chip was
+	// derived from by fault injection (see Fork and internal/resil).
+	// Degraded evaluation schedules it to learn which system-level test
+	// muxes the healthy design actually provisioned — fixed hardware a
+	// faulted chip cannot grow — and to diagnose missing interconnect.
+	Baseline *soc.Chip
+}
+
+// Fork returns a flow over ch that shares this flow's prepared artifacts,
+// options and forced muxes, recording the original chip as the degraded
+// evaluation baseline. The receiver is not modified; this is how the
+// fault-injection harness evaluates a perturbed copy of a chip without
+// re-running synthesis, HSCAN insertion or ATPG.
+func (f *Flow) Fork(ch *soc.Chip) *Flow {
+	nf := *f
+	nf.Chip = ch
+	nf.Baseline = f.Baseline
+	if nf.Baseline == nil {
+		nf.Baseline = f.Chip
+	}
+	return &nf
 }
 
 // Prepare runs the core-level phase on every core: synthesis (area),
@@ -178,7 +200,14 @@ func (e *Evaluation) ChipDFTGrids() int {
 // Evaluate builds the CCG for the chip's current version selection and
 // schedules every core test.
 func (f *Flow) Evaluate() (*Evaluation, error) {
-	return f.evaluate(f.CurrentSelection())
+	return f.evaluate(context.Background(), f.CurrentSelection())
+}
+
+// EvaluateCtx is Evaluate honoring ctx: cancellation is checked at phase
+// boundaries (after CCG build and after scheduling) and surfaces as
+// ctx.Err().
+func (f *Flow) EvaluateCtx(ctx context.Context) (*Evaluation, error) {
+	return f.evaluate(ctx, f.CurrentSelection())
 }
 
 // EvaluateSelection builds the CCG and schedule for an explicit version
@@ -189,7 +218,13 @@ func (f *Flow) Evaluate() (*Evaluation, error) {
 // one prepared flow are safe — this is the reentrant entry point the
 // parallel design-space explorer uses.
 func (f *Flow) EvaluateSelection(sel map[string]int) (*Evaluation, error) {
-	return f.evaluate(f.canonSelection(sel))
+	return f.evaluate(context.Background(), f.canonSelection(sel))
+}
+
+// EvaluateSelectionCtx is EvaluateSelection honoring ctx; the parallel
+// explorer threads its cancellation context through here.
+func (f *Flow) EvaluateSelectionCtx(ctx context.Context, sel map[string]int) (*Evaluation, error) {
+	return f.evaluate(ctx, f.canonSelection(sel))
 }
 
 // CurrentSelection returns the selected version index per testable core.
@@ -205,8 +240,16 @@ func (f *Flow) CurrentSelection() map[string]int {
 // indices into each core's ladder, mirroring SelectVersions, so every
 // distinct chip configuration has exactly one canonical map.
 func (f *Flow) canonSelection(sel map[string]int) map[string]int {
+	return canonSelectionOn(f.Chip, sel)
+}
+
+// canonSelectionOn canonicalizes sel against an explicit chip; degraded
+// evaluation clamps the same requested selection against both the faulted
+// chip and its pristine baseline (whose version ladders can differ when a
+// fault stripped a core's transparency).
+func canonSelectionOn(ch *soc.Chip, sel map[string]int) map[string]int {
 	out := map[string]int{}
-	for _, c := range f.Chip.TestableCores() {
+	for _, c := range ch.TestableCores() {
 		idx, ok := sel[c.Name]
 		if !ok {
 			idx = c.Selected
@@ -261,35 +304,63 @@ func (f *Flow) SelectionKey(sel map[string]int) string {
 // evaluate is the selection-pure core of Evaluate/EvaluateSelection: sel
 // must be canonical (every testable core present, indices in range). It
 // must not write any state reachable from f — the parallel explorer runs
-// many evaluations over one flow at once.
-func (f *Flow) evaluate(sel map[string]int) (*Evaluation, error) {
+// many evaluations over one flow at once. Cancellation is checked at the
+// phase boundaries; a cancelled evaluation returns ctx.Err().
+func (f *Flow) evaluate(ctx context.Context, sel map[string]int) (*Evaluation, error) {
 	root := obs.Start(nil, "evaluate")
 	defer root.End()
-	sp := obs.Start(root, "ccg/build")
-	g, err := ccg.BuildSelection(f.Chip, sel)
-	sp.End()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	g, forcedArea, err := f.buildGraph(root, f.Chip, sel)
 	if err != nil {
 		return nil, err
 	}
-	var forcedArea cell.Area
-	for _, fm := range f.ForcedMuxes {
-		width, err := f.applyForcedMux(g, fm)
-		if err != nil {
-			return nil, err
-		}
-		forcedArea.Add(cell.Mux2, width)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	s, err := sched.Schedule(f.Chip, g)
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return f.finishEvaluation(root, sel, g, s, forcedArea)
+}
+
+// buildGraph assembles the CCG for ch under sel and wires in the flow's
+// forced muxes, returning the graph and the forced-mux area.
+func (f *Flow) buildGraph(root *obs.Span, ch *soc.Chip, sel map[string]int) (*ccg.Graph, cell.Area, error) {
+	sp := obs.Start(root, "ccg/build")
+	g, err := ccg.BuildSelection(ch, sel)
+	sp.End()
+	var forcedArea cell.Area
+	if err != nil {
+		return nil, forcedArea, err
+	}
+	for _, fm := range f.ForcedMuxes {
+		width, err := applyForcedMux(ch, g, fm)
+		if err != nil {
+			return nil, forcedArea, err
+		}
+		forcedArea.Add(cell.Mux2, width)
+	}
+	return g, forcedArea, nil
+}
+
+// finishEvaluation replays the schedule for physical consistency and fills
+// in the controller, areas, interconnect plan and bottom line. It is
+// shared by the full and the degraded evaluation paths; for the latter, s
+// covers only the testable subset.
+func (f *Flow) finishEvaluation(root *obs.Span, sel map[string]int, g *ccg.Graph, s *sched.Result, forcedArea cell.Area) (*Evaluation, error) {
 	if err := sched.Validate(s); err != nil {
 		return nil, fmt.Errorf("core: schedule failed replay validation: %w", err)
 	}
 	e := &Evaluation{Graph: g, Sched: s}
 	e.MuxArea = forcedArea
 	e.MuxArea.AddArea(s.MuxArea)
-	sp = obs.Start(root, "ctrl/generate")
+	sp := obs.Start(root, "ctrl/generate")
 	e.Controller = ctrl.GenerateSelection(f.Chip, s, sel)
 	sp.End()
 	e.CtrlArea = e.Controller.Area
@@ -321,12 +392,12 @@ func (f *Flow) evaluate(sel map[string]int) (*Evaluation, error) {
 // compatibility (the narrowest pin that still covers the port, else the
 // widest available); a chip with no PI (input mux) or no PO (output mux)
 // is an error rather than a silent no-op.
-func (f *Flow) applyForcedMux(g *ccg.Graph, fm ForcedMux) (int, error) {
+func applyForcedMux(ch *soc.Chip, g *ccg.Graph, fm ForcedMux) (int, error) {
 	target, ok := g.NodeIndex(fm.Core + "." + fm.Port)
 	if !ok {
 		return 0, fmt.Errorf("core: forced mux on unknown port %s.%s", fm.Core, fm.Port)
 	}
-	c, ok := f.Chip.CoreByName(fm.Core)
+	c, ok := ch.CoreByName(fm.Core)
 	if !ok {
 		return 0, fmt.Errorf("core: forced mux on unknown core %s", fm.Core)
 	}
@@ -335,13 +406,13 @@ func (f *Flow) applyForcedMux(g *ccg.Graph, fm ForcedMux) (int, error) {
 		width = p.Width
 	}
 	if fm.Input {
-		pi, err := pickChipPin(g, f.Chip.PIs, width)
+		pi, err := pickChipPin(g, ch.PIs, width)
 		if err != nil {
 			return 0, fmt.Errorf("core: forced input mux %s.%s: %w", fm.Core, fm.Port, err)
 		}
 		g.AddTestMux(pi, target)
 	} else {
-		po, err := pickChipPin(g, f.Chip.POs, width)
+		po, err := pickChipPin(g, ch.POs, width)
 		if err != nil {
 			return 0, fmt.Errorf("core: forced output mux %s.%s: %w", fm.Core, fm.Port, err)
 		}

@@ -19,10 +19,10 @@ func buildGraph(t *testing.T, f *Flow) *ccg.Graph {
 func TestForcedMuxUnknownTarget(t *testing.T) {
 	f := prepare(t)
 	g := buildGraph(t, f)
-	if _, err := f.applyForcedMux(g, ForcedMux{Core: "CPU", Port: "NoSuchPort", Input: true}); err == nil {
+	if _, err := applyForcedMux(f.Chip, g, ForcedMux{Core: "CPU", Port: "NoSuchPort", Input: true}); err == nil {
 		t.Error("forced mux on an unknown port should error")
 	}
-	if _, err := f.applyForcedMux(g, ForcedMux{Core: "NOCORE", Port: "Data", Input: true}); err == nil {
+	if _, err := applyForcedMux(f.Chip, g, ForcedMux{Core: "NOCORE", Port: "Data", Input: true}); err == nil {
 		t.Error("forced mux on an unknown core should error")
 	}
 }
@@ -35,12 +35,12 @@ func TestForcedMuxNoChipPins(t *testing.T) {
 	bare := *f.Chip
 	bare.PIs, bare.POs = nil, nil
 	f2 := &Flow{Chip: &bare, Cores: f.Cores}
-	if _, err := f2.applyForcedMux(g, ForcedMux{Core: "CPU", Port: "Data", Input: true}); err == nil {
+	if _, err := applyForcedMux(f2.Chip, g, ForcedMux{Core: "CPU", Port: "Data", Input: true}); err == nil {
 		t.Error("input mux with no chip PIs should error")
 	} else if !strings.Contains(err.Error(), "no pins") {
 		t.Errorf("unexpected error: %v", err)
 	}
-	if _, err := f2.applyForcedMux(g, ForcedMux{Core: "CPU", Port: "AddrLo", Input: false}); err == nil {
+	if _, err := applyForcedMux(f2.Chip, g, ForcedMux{Core: "CPU", Port: "AddrLo", Input: false}); err == nil {
 		t.Error("output mux with no chip POs should error")
 	}
 }

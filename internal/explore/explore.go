@@ -16,8 +16,10 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -80,8 +82,14 @@ func NewCache() *Cache { return &Cache{m: map[string]*core.Evaluation{}} }
 // evaluations are shared between callers, which must treat them as
 // read-only.
 func (c *Cache) Evaluate(f *core.Flow, sel map[string]int) (*core.Evaluation, error) {
+	return c.EvaluateCtx(context.Background(), f, sel)
+}
+
+// EvaluateCtx is Evaluate honoring ctx: a cancelled evaluation returns
+// ctx.Err() and stores nothing.
+func (c *Cache) EvaluateCtx(ctx context.Context, f *core.Flow, sel map[string]int) (*core.Evaluation, error) {
 	if c == nil {
-		return f.EvaluateSelection(sel)
+		return f.EvaluateSelectionCtx(ctx, sel)
 	}
 	key := f.SelectionKey(sel)
 	c.mu.Lock()
@@ -92,7 +100,7 @@ func (c *Cache) Evaluate(f *core.Flow, sel map[string]int) (*core.Evaluation, er
 		return e, nil
 	}
 	obs.C("explore.cache_misses").Inc()
-	e, err := f.EvaluateSelection(sel)
+	e, err := f.EvaluateSelectionCtx(ctx, sel)
 	if err != nil {
 		return nil, err
 	}
@@ -165,6 +173,16 @@ func Enumerate(f *core.Flow) ([]Point, error) {
 // selection-pure, placed by index, and sorted exactly as the serial path
 // sorts.
 func EnumerateOpts(f *core.Flow, o Options) ([]Point, error) {
+	return EnumerateCtx(context.Background(), f, o)
+}
+
+// EnumerateCtx is EnumerateOpts honoring ctx. Cancellation is checked
+// between selections and inside each evaluation; a cancelled enumeration
+// returns the points completed so far — sorted exactly as a full run
+// sorts, so they form a consistent (if partial) design-space sample —
+// together with ctx.Err(). A panicking evaluation is recovered into an
+// error instead of killing the process.
+func EnumerateCtx(ctx context.Context, f *core.Flow, o Options) ([]Point, error) {
 	sp := obs.Start(nil, "explore/enumerate")
 	defer sp.End()
 	cPoints := obs.C("explore.points_evaluated")
@@ -181,8 +199,15 @@ func EnumerateOpts(f *core.Flow, o Options) ([]Point, error) {
 	}
 	obs.G("explore.parallel_workers").Set(int64(workers))
 	points := make([]Point, len(sels))
-	evalAt := func(i int) error {
-		e, err := o.Cache.Evaluate(f, sels[i])
+	done := make([]bool, len(sels))
+	evalAt := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				obs.C("explore.eval_panics").Inc()
+				err = fmt.Errorf("explore: evaluating %v panicked: %v\n%s", sels[i], r, debug.Stack())
+			}
+		}()
+		e, err := o.Cache.EvaluateCtx(ctx, f, sels[i])
 		if err != nil {
 			return err
 		}
@@ -192,13 +217,19 @@ func EnumerateOpts(f *core.Flow, o Options) ([]Point, error) {
 			TAT:       e.TAT,
 			Eval:      e,
 		}
+		done[i] = true
 		cPoints.Inc()
 		return nil
 	}
+	var first error
 	if workers == 1 {
 		for i := range sels {
+			if ctx.Err() != nil {
+				break
+			}
 			if err := evalAt(i); err != nil {
-				return nil, err
+				first = err
+				break
 			}
 		}
 	} else {
@@ -212,7 +243,6 @@ func EnumerateOpts(f *core.Flow, o Options) ([]Point, error) {
 			failed atomic.Bool
 			wg     sync.WaitGroup
 			errMu  sync.Mutex
-			first  error
 		)
 		next.Store(-1)
 		for w := 0; w < workers; w++ {
@@ -221,7 +251,7 @@ func EnumerateOpts(f *core.Flow, o Options) ([]Point, error) {
 				defer wg.Done()
 				for {
 					i := int(next.Add(1))
-					if i >= len(sels) || failed.Load() {
+					if i >= len(sels) || failed.Load() || ctx.Err() != nil {
 						return
 					}
 					if err := evalAt(i); err != nil {
@@ -237,17 +267,37 @@ func EnumerateOpts(f *core.Flow, o Options) ([]Point, error) {
 			}()
 		}
 		wg.Wait()
-		if first != nil {
-			return nil, first
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		obs.C("explore.cancelled").Inc()
+		return sortPoints(gather(points, done)), cerr
+	}
+	if first != nil {
+		return nil, first
+	}
+	return sortPoints(points), nil
+}
+
+// gather keeps the completed points in selection order.
+func gather(points []Point, done []bool) []Point {
+	var out []Point
+	for i := range points {
+		if done[i] {
+			out = append(out, points[i])
 		}
 	}
+	return out
+}
+
+// sortPoints orders points by chip overhead then TAT, in place.
+func sortPoints(points []Point) []Point {
 	sort.Slice(points, func(i, j int) bool {
 		if points[i].ChipCells != points[j].ChipCells {
 			return points[i].ChipCells < points[j].ChipCells
 		}
 		return points[i].TAT < points[j].TAT
 	})
-	return points, nil
+	return points
 }
 
 // Pareto filters points to the non-dominated area/TAT front. Input order
@@ -391,11 +441,20 @@ func Improve(f *core.Flow, obj Objective, budget int) (*Result, error) {
 // strictly reduces the TAT — candidates whose estimated gain does not
 // materialize are rejected, never applied.
 func ImproveOpts(f *core.Flow, obj Objective, budget int, o Options) (*Result, error) {
+	return ImproveCtx(context.Background(), f, obj, budget, o)
+}
+
+// ImproveCtx is ImproveOpts honoring ctx: cancellation is checked before
+// each improvement move and inside each evaluation. A cancelled walk
+// returns the moves accepted so far (a valid, if unfinished, improvement
+// trajectory — the flow's selection reflects every accepted move) together
+// with ctx.Err().
+func ImproveCtx(ctx context.Context, f *core.Flow, obj Objective, budget int, o Options) (*Result, error) {
 	root := obs.Start(nil, "explore/improve")
 	defer root.End()
 	cAccepted := obs.C("explore.moves_accepted")
 	cRejected := obs.C("explore.moves_rejected")
-	e, err := o.Cache.Evaluate(f, f.CurrentSelection())
+	e, err := o.Cache.EvaluateCtx(ctx, f, f.CurrentSelection())
 	if err != nil {
 		return nil, err
 	}
@@ -442,7 +501,7 @@ func ImproveOpts(f *core.Flow, obj Objective, budget int, o Options) (*Result, e
 				return true, nil // nothing left to do
 			}
 			if ok {
-				e2, err := o.Cache.Evaluate(f, f.CurrentSelection())
+				e2, err := o.Cache.EvaluateCtx(ctx, f, f.CurrentSelection())
 				if err != nil {
 					return true, err
 				}
@@ -470,7 +529,7 @@ func ImproveOpts(f *core.Flow, obj Objective, budget int, o Options) (*Result, e
 		for _, c := range cands {
 			trial := f.CurrentSelection()
 			trial[c.Core] = c.Version
-			e2, err := o.Cache.Evaluate(f, trial)
+			e2, err := o.Cache.EvaluateCtx(ctx, f, trial)
 			if err != nil {
 				return true, err
 			}
@@ -495,8 +554,14 @@ func ImproveOpts(f *core.Flow, obj Objective, budget int, o Options) (*Result, e
 		return true, nil
 	}
 	for iter := 0; iter < 64; iter++ {
+		if ctx.Err() != nil {
+			break
+		}
 		stop, err := iterate()
 		if err != nil {
+			if ctx.Err() != nil {
+				break
+			}
 			return nil, err
 		}
 		if stop {
@@ -505,6 +570,10 @@ func ImproveOpts(f *core.Flow, obj Objective, budget int, o Options) (*Result, e
 	}
 	res.Selection = f.CurrentSelection()
 	res.Final = e
+	if cerr := ctx.Err(); cerr != nil {
+		obs.C("explore.cancelled").Inc()
+		return res, cerr
+	}
 	return res, nil
 }
 

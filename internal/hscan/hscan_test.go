@@ -25,7 +25,7 @@ func chainCover(t *testing.T, c *rtl.Core, res *Result) {
 func TestFigure1ReusesMuxPath(t *testing.T) {
 	// REG1 -> mux -> REG2 as in Figure 1(a): the chain should reuse the
 	// path with only control gates, no test muxes.
-	c := rtl.NewCore("fig1").
+	c := must(rtl.NewCore("fig1").
 		In("din", 16).
 		Out("dout", 16).
 		Reg("reg1", 16).
@@ -39,7 +39,7 @@ func TestFigure1ReusesMuxPath(t *testing.T) {
 		Wire("reg1.q", "alu.in0").
 		Wire("reg2.q", "alu.in1").
 		Wire("reg2.q", "dout").
-		MustBuild()
+		Build())
 	res, err := Insert(c)
 	if err != nil {
 		t.Fatal(err)
@@ -75,7 +75,7 @@ func TestFigure1ReusesMuxPath(t *testing.T) {
 }
 
 func TestDirectConnectionCostsOneCell(t *testing.T) {
-	c := rtl.NewCore("direct").
+	c := must(rtl.NewCore("direct").
 		In("a", 8).
 		Out("z", 8).
 		Reg("r1", 8).
@@ -83,7 +83,7 @@ func TestDirectConnectionCostsOneCell(t *testing.T) {
 		Wire("a", "r1.d").
 		Wire("r1.q", "r2.d").
 		Wire("r2.q", "z").
-		MustBuild()
+		Build())
 	res, err := Insert(c)
 	if err != nil {
 		t.Fatal(err)
@@ -107,7 +107,7 @@ func TestDirectConnectionCostsOneCell(t *testing.T) {
 
 func TestDisconnectedRegistersGetTestMuxes(t *testing.T) {
 	// Two registers fed only through units: no reusable paths at all.
-	c := rtl.NewCore("isolated").
+	c := must(rtl.NewCore("isolated").
 		In("a", 4).
 		Out("z", 4).
 		Reg("r1", 4).
@@ -122,7 +122,7 @@ func TestDisconnectedRegistersGetTestMuxes(t *testing.T) {
 		Wire("r2.q", "u3.in0").
 		Wire("r1.q", "u3.in1").
 		Wire("u3.out", "z").
-		MustBuild()
+		Build())
 	res, err := Insert(c)
 	if err != nil {
 		t.Fatal(err)
@@ -148,7 +148,7 @@ func TestLongChainDepth(t *testing.T) {
 	b := rtl.NewCore("pipe").In("a", 8).Out("z", 8)
 	b.Reg("r1", 8).Reg("r2", 8).Reg("r3", 8).Reg("r4", 8)
 	b.Wire("a", "r1.d").Wire("r1.q", "r2.d").Wire("r2.q", "r3.d").Wire("r3.q", "r4.d").Wire("r4.q", "z")
-	c := b.MustBuild()
+	c := must(b.Build())
 	res, err := Insert(c)
 	if err != nil {
 		t.Fatal(err)
@@ -169,7 +169,7 @@ func TestLongChainDepth(t *testing.T) {
 func TestMuxSelectConflictResolved(t *testing.T) {
 	// Two register pairs share one mux with opposite selects; only one
 	// link can reuse it, the other must fall back to a test mux.
-	c := rtl.NewCore("conflict").
+	c := must(rtl.NewCore("conflict").
 		In("a", 4).In("b", 4).
 		Out("z", 4).
 		Reg("r1", 4).Reg("r2", 4).Reg("r3", 4).
@@ -180,7 +180,7 @@ func TestMuxSelectConflictResolved(t *testing.T) {
 		Wire("r2.q", "m.in1").
 		Wire("m.out", "r3.d").
 		Wire("r3.q", "z").
-		MustBuild()
+		Build())
 	res, err := Insert(c)
 	if err != nil {
 		t.Fatal(err)
@@ -202,7 +202,7 @@ func TestCycleBrokenIntoChain(t *testing.T) {
 	// r1 -> r2 -> r1 loop with an input into r1 and output from r2: the
 	// matching could select a cycle; insertion must still produce chains
 	// covering both registers.
-	c := rtl.NewCore("loop").
+	c := must(rtl.NewCore("loop").
 		In("a", 4).
 		Out("z", 4).
 		Reg("r1", 4).Reg("r2", 4).
@@ -212,7 +212,7 @@ func TestCycleBrokenIntoChain(t *testing.T) {
 		Wire("m.out", "r1.d").
 		Wire("r1.q", "r2.d").
 		Wire("r2.q", "z").
-		MustBuild()
+		Build())
 	res, err := Insert(c)
 	if err != nil {
 		t.Fatal(err)
@@ -221,7 +221,7 @@ func TestCycleBrokenIntoChain(t *testing.T) {
 }
 
 func TestEdgesExposeHopsForTransparency(t *testing.T) {
-	c := rtl.NewCore("hops").
+	c := must(rtl.NewCore("hops").
 		In("a", 4).
 		Out("z", 4).
 		Reg("r1", 4).Reg("r2", 4).
@@ -231,7 +231,7 @@ func TestEdgesExposeHopsForTransparency(t *testing.T) {
 		Wire("a", "m.in1").
 		Wire("m.out", "r2.d").
 		Wire("r2.q", "z").
-		MustBuild()
+		Build())
 	res, err := Insert(c)
 	if err != nil {
 		t.Fatal(err)

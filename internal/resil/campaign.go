@@ -1,0 +1,104 @@
+package resil
+
+import (
+	"context"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/soc"
+)
+
+// Outcome is one campaign run: the fault set, the degraded evaluation it
+// produced, and any flow error (a flow error under a well-formed fault set
+// is a robustness bug — campaigns assert it stays nil).
+type Outcome struct {
+	Index  int
+	Faults []Fault
+	Eval   *core.DegradedEvaluation
+	Err    error
+}
+
+// Campaign evaluates a sequence of fault sets against one prepared flow.
+type Campaign struct {
+	Flow *core.Flow
+	Runs [][]Fault
+}
+
+// Execute runs every fault set in order: clone the chip, inject, fork the
+// flow, evaluate degraded. Cancellation between runs (and inside each
+// evaluation) returns the outcomes so far with ctx.Err(). Per-run flow
+// errors do not stop the campaign; they land in the run's Outcome.
+func (c *Campaign) Execute(ctx context.Context) ([]Outcome, error) {
+	root := obs.Start(nil, "resil/campaign")
+	defer root.End()
+	out := make([]Outcome, 0, len(c.Runs))
+	for i, faults := range c.Runs {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		o := Outcome{Index: i, Faults: faults}
+		sp := obs.Start(root, "resil/run")
+		ch, err := Inject(c.Flow.Chip, faults...)
+		if err != nil {
+			o.Err = err
+		} else {
+			o.Eval, o.Err = c.Flow.Fork(ch).EvaluateDegradedCtx(ctx)
+		}
+		sp.End()
+		if o.Err != nil {
+			if ctx.Err() != nil {
+				return out, ctx.Err()
+			}
+			obs.C("resil.run_errors").Inc()
+		}
+		obs.C("resil.runs").Inc()
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// SingleEdgeCuts enumerates one CutEdge fault set per interconnect net, in
+// net declaration order — the exhaustive broken-wire campaign.
+func SingleEdgeCuts(ch *soc.Chip) [][]Fault {
+	out := make([][]Fault, 0, len(ch.Nets))
+	for _, n := range ch.Nets {
+		out = append(out, []Fault{Cut(n)})
+	}
+	return out
+}
+
+// Catalog lists every basic single fault of the chip: each net cut, and
+// each testable core made opaque, slowed and scan-broken.
+func Catalog(ch *soc.Chip) []Fault {
+	var out []Fault
+	for _, n := range ch.Nets {
+		out = append(out, Cut(n))
+	}
+	for _, c := range ch.TestableCores() {
+		out = append(out, Opaque{Core: c.Name})
+		out = append(out, SlowTransparency{Core: c.Name, Factor: 2})
+		out = append(out, DisableHSCAN{Core: c.Name})
+	}
+	return out
+}
+
+// RandomSets draws n fault sets of the given size from the chip's fault
+// catalog, without replacement inside a set, deterministically from seed.
+func RandomSets(ch *soc.Chip, n, size int, seed int64) [][]Fault {
+	cat := Catalog(ch)
+	if size > len(cat) {
+		size = len(cat)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]Fault, 0, n)
+	for i := 0; i < n; i++ {
+		idx := rng.Perm(len(cat))[:size]
+		set := make([]Fault, size)
+		for j, k := range idx {
+			set[j] = cat[k]
+		}
+		out = append(out, set)
+	}
+	return out
+}

@@ -157,15 +157,6 @@ func (b *Builder) Build() (*Core, error) {
 	return &c, nil
 }
 
-// MustBuild is Build that panics on error; for statically-known cores.
-func (b *Builder) MustBuild() *Core {
-	c, err := b.Build()
-	if err != nil {
-		panic(err)
-	}
-	return c
-}
-
 // fullWidth marks an endpoint whose slice spans the whole pin; resolved at
 // Build time once pin widths are known.
 const fullWidth = -1
@@ -206,13 +197,4 @@ func ParseEndpoint(s string) (Endpoint, error) {
 		return ep, fmt.Errorf("rtl: bad endpoint %q: empty component", orig)
 	}
 	return ep, nil
-}
-
-// MustEndpoint is ParseEndpoint that panics on error.
-func MustEndpoint(s string) Endpoint {
-	ep, err := ParseEndpoint(s)
-	if err != nil {
-		panic(err)
-	}
-	return ep
 }

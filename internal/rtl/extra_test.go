@@ -39,33 +39,56 @@ func TestStringFormats(t *testing.T) {
 	}
 }
 
-func TestMustEndpointPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("MustEndpoint accepted garbage")
+func TestMalformedEndpointReturnsError(t *testing.T) {
+	for _, s := range []string{"[oops", "a[3:x]", "a[-1]", "a[2:5]", ".pin", ""} {
+		if _, err := ParseEndpoint(s); err == nil {
+			t.Errorf("ParseEndpoint(%q) accepted garbage", s)
 		}
-	}()
-	MustEndpoint("[oops")
+	}
 }
 
-func TestMustBuildPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("MustBuild accepted an invalid core")
-		}
-	}()
-	NewCore("bad").In("a", 4).In("a", 4).MustBuild()
+// TestMalformedBuildReturnsError pins the error-returning contract of
+// Builder.Build: malformed cores must fail loudly with an error, never
+// panic, and never yield a non-nil core.
+func TestMalformedBuildReturnsError(t *testing.T) {
+	cases := []struct {
+		name string
+		b    *Builder
+	}{
+		{"duplicate port", NewCore("bad").In("a", 4).In("a", 4)},
+		{"bad endpoint syntax", NewCore("bad").In("a", 4).Out("z", 4).Wire("a[oops", "z")},
+		{"unknown component", NewCore("bad").In("a", 4).Out("z", 4).Wire("ghost.q", "z")},
+		{"slice out of range", NewCore("bad").In("a", 4).Out("z", 8).Wire("a[7:0]", "z")},
+		{"tiny mux", NewCore("bad").In("a", 4).Out("z", 4).Mux("m", 4, 1).
+			Wire("a", "m.in0").Wire("a", "m.in1").Wire("a", "m.sel").Wire("m.out", "z")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Build panicked: %v", r)
+				}
+			}()
+			c, err := tc.b.Build()
+			if err == nil {
+				t.Fatal("Build accepted a malformed core")
+			}
+			if c != nil {
+				t.Fatalf("Build returned non-nil core alongside error %v", err)
+			}
+		})
+	}
 }
 
 func TestFanoutAndDrivers(t *testing.T) {
-	c := NewCore("fan").
+	c := must(NewCore("fan").
 		In("a", 4).
 		Out("x", 4).Out("y", 4).
 		Reg("r", 4).
 		Wire("a", "r.d").
 		Wire("r.q", "x").
 		Wire("r.q", "y").
-		MustBuild()
+		Build())
 	fo := FanoutOf(c, Endpoint{Comp: "r", Pin: "q", Lo: 0, Hi: 3})
 	if len(fo) != 2 {
 		t.Errorf("fanout = %d conns, want 2", len(fo))
@@ -99,25 +122,25 @@ func TestPathHelpers(t *testing.T) {
 }
 
 func TestAluOpPin(t *testing.T) {
-	c := NewCore("alu").
+	c := must(NewCore("alu").
 		In("a", 4).In("b", 4).In("op", 2).
 		Out("z", 4).
 		Unit(Unit{Name: "u", Op: OpAlu, Width: 4, AluOps: 4}).
 		Wire("a", "u.in0").Wire("b", "u.in1").Wire("op", "u.op").
 		Wire("u.out", "z").
-		MustBuild()
+		Build())
 	w, err := c.PinWidth("u", "op")
 	if err != nil || w != 2 {
 		t.Errorf("alu op width = %d, %v", w, err)
 	}
 	// Undriven op would appear in Undriven if disconnected.
-	c2 := NewCore("alu2").
+	c2 := must(NewCore("alu2").
 		In("a", 4).In("b", 4).
 		Out("z", 4).
 		Unit(Unit{Name: "u", Op: OpAlu, Width: 4, AluOps: 4}).
 		Wire("a", "u.in0").Wire("b", "u.in1").
 		Wire("u.out", "z").
-		MustBuild()
+		Build())
 	found := false
 	for _, u := range c2.Undriven() {
 		if u.Comp == "u" && u.Pin == "op" {
@@ -130,8 +153,8 @@ func TestAluOpPin(t *testing.T) {
 }
 
 func TestLookupMissing(t *testing.T) {
-	c := NewCore("l").In("a", 1).Out("z", 1).Reg("r", 1).
-		Wire("a", "r.d").Wire("r.q", "z").MustBuild()
+	c := must(NewCore("l").In("a", 1).Out("z", 1).Reg("r", 1).
+		Wire("a", "r.d").Wire("r.q", "z").Build())
 	if _, ok := c.PortByName("r"); ok {
 		t.Error("register returned as port")
 	}

@@ -1,0 +1,10 @@
+package rtl
+
+// must unwraps Builder.Build for this package's hand-written test
+// fixtures, where a build error is a bug in the test itself.
+func must(c *Core, err error) *Core {
+	if err != nil {
+		panic("test fixture failed to build: " + err.Error())
+	}
+	return c
+}

@@ -19,7 +19,8 @@ type ChipParams struct {
 // final outputs become chip POs. Some outputs deliberately stay
 // unobservable so the scheduler's system-level test-mux fallback is
 // exercised. The result validates and is ready for the full SOCET flow.
-func RandomChip(p ChipParams) *soc.Chip {
+// An error means a drawn core failed to build; samplers skip the seed.
+func RandomChip(p ChipParams) (*soc.Chip, error) {
 	r := &rng{s: p.Seed*0x9E3779B9 + 77}
 	if p.Cores == 0 {
 		p.Cores = 2 + r.intn(3)
@@ -48,7 +49,10 @@ func RandomChip(p ChipParams) *soc.Chip {
 	}
 
 	for i := 0; i < p.Cores; i++ {
-		c := Random(Params{Seed: p.Seed*131 + uint64(i)})
+		c, err := Random(Params{Seed: p.Seed*131 + uint64(i)})
+		if err != nil {
+			return nil, fmt.Errorf("rtlgen: chip %04x core %d: %w", p.Seed&0xffff, i, err)
+		}
 		// Core names must be unique chip-wide.
 		c.Name = fmt.Sprintf("C%d_%s", i, c.Name)
 		sc := &soc.Core{Name: c.Name, RTL: c}
@@ -103,14 +107,17 @@ func RandomChip(p ChipParams) *soc.Chip {
 		out := c.RTL.Outputs()[0]
 		ch.Nets = append(ch.Nets, soc.Net{FromCore: c.Name, FromPort: out.Name, ToPort: newPO(out.Width)})
 	}
-	return ch
+	return ch, nil
 }
 
-// ManyChips generates n chips for seeds base..base+n-1.
+// ManyChips generates n chips for seeds base..base+n-1, skipping seeds
+// whose cores fail to build.
 func ManyChips(n int, base uint64) []*soc.Chip {
 	var out []*soc.Chip
 	for i := 0; i < n; i++ {
-		out = append(out, RandomChip(ChipParams{Seed: base + uint64(i)}))
+		if ch, err := RandomChip(ChipParams{Seed: base + uint64(i)}); err == nil {
+			out = append(out, ch)
+		}
 	}
 	return out
 }

@@ -27,8 +27,11 @@ func TestGeneratedCoresValid(t *testing.T) {
 }
 
 func TestGeneratorDeterministic(t *testing.T) {
-	a := Random(Params{Seed: 7})
-	b := Random(Params{Seed: 7})
+	a, errA := Random(Params{Seed: 7})
+	b, errB := Random(Params{Seed: 7})
+	if errA != nil || errB != nil {
+		t.Fatalf("generation failed: %v / %v", errA, errB)
+	}
 	if len(a.Conns) != len(b.Conns) || len(a.Regs) != len(b.Regs) {
 		t.Fatal("same seed produced different cores")
 	}
@@ -219,7 +222,10 @@ func allPatterns(n *gate.Netlist) []gate.Pattern {
 func TestPODEMSoundAndComplete(t *testing.T) {
 	checked := 0
 	for seed := uint64(500); seed < 560 && checked < 6; seed++ {
-		c := Random(Params{Seed: seed, Regs: 2, Inputs: 1, Outputs: 1, Widths: []int{2, 4}})
+		c, err := Random(Params{Seed: seed, Regs: 2, Inputs: 1, Outputs: 1, Widths: []int{2, 4}})
+		if err != nil {
+			continue
+		}
 		sr, err := synth.Synthesize(c)
 		if err != nil {
 			continue

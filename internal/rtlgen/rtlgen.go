@@ -53,8 +53,9 @@ func (s source) slice(lo, hi int) string {
 // Random generates a deterministic core for the given parameters. Widths
 // are drawn from {4, 8}; narrow sinks slice wide sources and wide sinks
 // may be fed piecewise by two narrow sources, so C-split and O-split
-// structures arise naturally.
-func Random(p Params) *rtl.Core {
+// structures arise naturally. A build error means the drawn structure was
+// inconsistent — callers sampling many seeds (see Many) skip such seeds.
+func Random(p Params) (*rtl.Core, error) {
 	r := &rng{s: p.Seed*2654435761 + 12345}
 	if p.Regs == 0 {
 		p.Regs = 3 + r.intn(6)
@@ -215,7 +216,7 @@ func Random(p Params) *rtl.Core {
 	for _, o := range outs {
 		driveSink(o.name, o.width)
 	}
-	return b.MustBuild()
+	return b.Build()
 }
 
 // Many returns cores for seeds 0..n-1, skipping any that fail to build
@@ -224,10 +225,9 @@ func Random(p Params) *rtl.Core {
 func Many(n int, base uint64) []*rtl.Core {
 	var out []*rtl.Core
 	for i := 0; i < n; i++ {
-		func() {
-			defer func() { recover() }()
-			out = append(out, Random(Params{Seed: base + uint64(i)}))
-		}()
+		if c, err := Random(Params{Seed: base + uint64(i)}); err == nil {
+			out = append(out, c)
+		}
 	}
 	return out
 }

@@ -11,7 +11,7 @@ import (
 )
 
 func TestBasicDatapath(t *testing.T) {
-	c := rtl.NewCore("dp").
+	c := must(rtl.NewCore("dp").
 		In("a", 8).In("b", 8).
 		Out("sum", 8).Out("q", 8).
 		Reg("r", 8).
@@ -21,7 +21,7 @@ func TestBasicDatapath(t *testing.T) {
 		Wire("add.out", "sum").
 		Wire("a", "r.d").
 		Wire("r.q", "q").
-		MustBuild()
+		Build())
 	s, err := New(c)
 	if err != nil {
 		t.Fatal(err)
@@ -43,7 +43,7 @@ func TestBasicDatapath(t *testing.T) {
 }
 
 func TestMuxForcing(t *testing.T) {
-	c := rtl.NewCore("mf").
+	c := must(rtl.NewCore("mf").
 		In("a", 4).In("b", 4).In("s", 1).
 		Out("z", 4).
 		Mux("m", 4, 2).
@@ -51,7 +51,7 @@ func TestMuxForcing(t *testing.T) {
 		Wire("b", "m.in1").
 		Wire("s", "m.sel").
 		Wire("m.out", "z").
-		MustBuild()
+		Build())
 	s, _ := New(c)
 	s.SetInput("a", 0x3)
 	s.SetInput("b", 0xC)
@@ -76,7 +76,7 @@ func TestMuxForcing(t *testing.T) {
 }
 
 func TestFreezeAndForceLoad(t *testing.T) {
-	c := rtl.NewCore("fz").
+	c := must(rtl.NewCore("fz").
 		In("a", 4).CtlIn("en", 1).
 		Out("q", 4).Out("p", 4).
 		RegLd("r", 4).
@@ -86,7 +86,7 @@ func TestFreezeAndForceLoad(t *testing.T) {
 		Wire("a", "plain.d").
 		Wire("r.q", "q").
 		Wire("plain.q", "p").
-		MustBuild()
+		Build())
 	s, _ := New(c)
 	s.SetInput("a", 0x5)
 	s.SetInput("en", 0)
@@ -117,8 +117,8 @@ func TestFreezeAndForceLoad(t *testing.T) {
 }
 
 func TestErrorsOnUnknownNames(t *testing.T) {
-	c := rtl.NewCore("err").In("a", 4).Out("z", 4).Reg("r", 4).
-		Wire("a", "r.d").Wire("r.q", "z").MustBuild()
+	c := must(rtl.NewCore("err").In("a", 4).Out("z", 4).Reg("r", 4).
+		Wire("a", "r.d").Wire("r.q", "z").Build())
 	s, _ := New(c)
 	if err := s.SetInput("nope", 1); err == nil {
 		t.Error("unknown input accepted")

@@ -61,13 +61,18 @@ func (r *Result) CoreTAT(core string) int {
 // Schedule computes the chip test schedule on a freshly built CCG. The
 // graph is mutated: system-level test-mux edges are added where needed
 // (the PREPROCESSOR's Address output in Figure 9 gets exactly such a mux).
+// The first unschedulable core aborts the build; BuildPartial is the
+// degrading variant that skips and diagnoses instead.
 func Schedule(ch *soc.Chip, g *ccg.Graph) (*Result, error) {
 	root := obs.Start(nil, "sched")
 	defer root.End()
 	res := &Result{}
 	for _, c := range ch.TestableCores() {
+		if c.Disabled != "" {
+			return nil, fmt.Errorf("sched: core %s disabled: %s", c.Name, c.Disabled)
+		}
 		sp := obs.Start(root, "sched/"+c.Name)
-		cs, err := scheduleCore(ch, g, c, res)
+		cs, err := scheduleCore(ch, g, c, res, nil)
 		sp.End()
 		if err != nil {
 			return nil, err
@@ -79,7 +84,10 @@ func Schedule(ch *soc.Chip, g *ccg.Graph) (*Result, error) {
 	return res, nil
 }
 
-func scheduleCore(ch *soc.Chip, g *ccg.Graph, c *soc.Core, res *Result) (*CoreSchedule, error) {
+// scheduleCore plans one core's test. allowMux gates the system-level
+// test-mux fallback per port (nil allows every insertion, the design-time
+// behaviour); a denied or futile insertion surfaces as *UnreachableError.
+func scheduleCore(ch *soc.Chip, g *ccg.Graph, c *soc.Core, res *Result, allowMux func(core, port string, input bool) bool) (*CoreSchedule, error) {
 	cs := &CoreSchedule{Core: c.Name}
 	resv := ccg.Reservations{}
 	pis := g.PINodes()
@@ -97,6 +105,9 @@ func scheduleCore(ch *soc.Chip, g *ccg.Graph, c *soc.Core, res *Result) (*CoreSc
 		if p == nil {
 			// No existing path: connect the input to a PI with a
 			// system-level test multiplexer and retry.
+			if allowMux != nil && !allowMux(c.Name, port, true) {
+				return nil, &UnreachableError{Core: c.Name, Port: port, Input: true, MuxDenied: true}
+			}
 			pi := bestPI(ch, g, port)
 			g.AddTestMux(pi, target)
 			width := portWidth(c, port)
@@ -105,7 +116,7 @@ func scheduleCore(ch *soc.Chip, g *ccg.Graph, c *soc.Core, res *Result) (*CoreSc
 			added = true
 			p = g.ShortestPath(pis, target, resv)
 			if p == nil {
-				return nil, fmt.Errorf("sched: %s.%s unreachable even with a test mux", c.Name, port)
+				return nil, &UnreachableError{Core: c.Name, Port: port, Input: true}
 			}
 		}
 		g.ReservePath(p, resv)
@@ -129,6 +140,9 @@ func scheduleCore(ch *soc.Chip, g *ccg.Graph, c *soc.Core, res *Result) (*CoreSc
 		p := bestPathToPO(g, source, oresv)
 		added := false
 		if p == nil {
+			if allowMux != nil && !allowMux(c.Name, port, false) {
+				return nil, &UnreachableError{Core: c.Name, Port: port, MuxDenied: true}
+			}
 			po := bestPO(ch, g, port)
 			g.AddTestMux(source, po)
 			width := portWidth(c, port)
@@ -137,7 +151,7 @@ func scheduleCore(ch *soc.Chip, g *ccg.Graph, c *soc.Core, res *Result) (*CoreSc
 			added = true
 			p = bestPathToPO(g, source, oresv)
 			if p == nil {
-				return nil, fmt.Errorf("sched: %s.%s unobservable even with a test mux", c.Name, port)
+				return nil, &UnreachableError{Core: c.Name, Port: port}
 			}
 		}
 		g.ReservePath(p, oresv)

@@ -1,0 +1,12 @@
+package soc_test
+
+import "repro/internal/rtl"
+
+// must unwraps rtl.Builder.Build for this package's hand-written test
+// fixtures, where a build error is a bug in the test itself.
+func must(c *rtl.Core, err error) *rtl.Core {
+	if err != nil {
+		panic("test fixture failed to build: " + err.Error())
+	}
+	return c
+}

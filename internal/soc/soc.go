@@ -24,6 +24,13 @@ type Core struct {
 	Versions []*trans.Version
 	Selected int // index into Versions of the version in use
 	Vectors  int // combinational ATPG vector count for the core's test set
+
+	// Disabled, when non-empty, marks the core's test resources as dead
+	// (e.g. a broken HSCAN chain injected by the fault harness) with a
+	// human-readable reason. A disabled core cannot be scheduled as a test
+	// target; the full scheduler refuses the chip, the partial scheduler
+	// diagnoses and skips it. Neighbour transparency is unaffected.
+	Disabled string
 }
 
 // Version returns the currently selected transparency version (nil when

@@ -10,13 +10,13 @@ import (
 )
 
 func tinyCore(name string) *rtl.Core {
-	return rtl.NewCore(name).
+	return must(rtl.NewCore(name).
 		In("A", 4).
 		Out("Z", 4).
 		Reg("R", 4).
 		Wire("A", "R.d").
 		Wire("R.q", "Z").
-		MustBuild()
+		Build())
 }
 
 func TestValidateGoodChip(t *testing.T) {

@@ -80,14 +80,14 @@ func (h *harness) out(port string) uint64 {
 }
 
 func TestCombinationalAdder(t *testing.T) {
-	c := rtl.NewCore("addc").
+	c := must(rtl.NewCore("addc").
 		In("a", 8).In("b", 8).
 		Out("z", 8).
 		Unit(rtl.Unit{Name: "add", Op: rtl.OpAdd, Width: 8}).
 		Wire("a", "add.in0").
 		Wire("b", "add.in1").
 		Wire("add.out", "z").
-		MustBuild()
+		Build())
 	h := newHarness(t, c)
 	f := func(a, b uint8) bool {
 		h.setIn("a", uint64(a))
@@ -101,14 +101,14 @@ func TestCombinationalAdder(t *testing.T) {
 }
 
 func TestSubAndInc(t *testing.T) {
-	c := rtl.NewCore("subc").
+	c := must(rtl.NewCore("subc").
 		In("a", 8).In("b", 8).
 		Out("d", 8).Out("i", 8).
 		Unit(rtl.Unit{Name: "sub", Op: rtl.OpSub, Width: 8}).
 		Unit(rtl.Unit{Name: "inc", Op: rtl.OpInc, Width: 8}).
 		Wire("a", "sub.in0").Wire("b", "sub.in1").Wire("sub.out", "d").
 		Wire("a", "inc.in0").Wire("inc.out", "i").
-		MustBuild()
+		Build())
 	h := newHarness(t, c)
 	f := func(a, b uint8) bool {
 		h.setIn("a", uint64(a))
@@ -122,7 +122,7 @@ func TestSubAndInc(t *testing.T) {
 }
 
 func TestMux4Way(t *testing.T) {
-	c := rtl.NewCore("m4").
+	c := must(rtl.NewCore("m4").
 		In("a", 4).In("b", 4).In("x", 4).In("y", 4).
 		In("s", 2).
 		Out("z", 4).
@@ -130,7 +130,7 @@ func TestMux4Way(t *testing.T) {
 		Wire("a", "m.in0").Wire("b", "m.in1").Wire("x", "m.in2").Wire("y", "m.in3").
 		Wire("s", "m.sel").
 		Wire("m.out", "z").
-		MustBuild()
+		Build())
 	h := newHarness(t, c)
 	ins := []string{"a", "b", "x", "y"}
 	vals := []uint64{0x3, 0x5, 0x9, 0xC}
@@ -147,14 +147,14 @@ func TestMux4Way(t *testing.T) {
 }
 
 func TestRegisterWithLoad(t *testing.T) {
-	c := rtl.NewCore("regld").
+	c := must(rtl.NewCore("regld").
 		In("d", 4).CtlIn("en", 1).
 		Out("q", 4).
 		RegLd("r", 4).
 		Wire("d", "r.d").
 		Wire("en", "r.ld").
 		Wire("r.q", "q").
-		MustBuild()
+		Build())
 	h := newHarness(t, c)
 	h.setIn("d", 0xA)
 	h.setIn("en", 1)
@@ -177,14 +177,14 @@ func TestRegisterWithLoad(t *testing.T) {
 
 func TestCounterDatapath(t *testing.T) {
 	// r <- r + 1 each cycle (PC-style), checking sequential elaboration.
-	c := rtl.NewCore("ctr").
+	c := must(rtl.NewCore("ctr").
 		Out("q", 4).
 		Reg("r", 4).
 		Unit(rtl.Unit{Name: "inc", Op: rtl.OpInc, Width: 4}).
 		Wire("r.q", "inc.in0").
 		Wire("inc.out", "r.d").
 		Wire("r.q", "q").
-		MustBuild()
+		Build())
 	h := newHarness(t, c)
 	for want := uint64(1); want < 20; want++ {
 		h.sim.Step()
@@ -195,14 +195,14 @@ func TestCounterDatapath(t *testing.T) {
 }
 
 func TestEqAndDecode(t *testing.T) {
-	c := rtl.NewCore("eqd").
+	c := must(rtl.NewCore("eqd").
 		In("a", 3).In("b", 3).
 		Out("e", 1).Out("onehot", 8).
 		Unit(rtl.Unit{Name: "eq", Op: rtl.OpEq, Width: 3}).
 		Unit(rtl.Unit{Name: "dec", Op: rtl.OpDecode, Width: 3}).
 		Wire("a", "eq.in0").Wire("b", "eq.in1").Wire("eq.out", "e").
 		Wire("a", "dec.in0").Wire("dec.out", "onehot").
-		MustBuild()
+		Build())
 	h := newHarness(t, c)
 	for a := uint64(0); a < 8; a++ {
 		for b := uint64(0); b < 8; b++ {
@@ -224,13 +224,13 @@ func TestEqAndDecode(t *testing.T) {
 }
 
 func TestAluOps(t *testing.T) {
-	c := rtl.NewCore("aluc").
+	c := must(rtl.NewCore("aluc").
 		In("a", 8).In("b", 8).In("op", 2).
 		Out("z", 8).
 		Unit(rtl.Unit{Name: "alu", Op: rtl.OpAlu, Width: 8, AluOps: 4}).
 		Wire("a", "alu.in0").Wire("b", "alu.in1").Wire("op", "alu.op").
 		Wire("alu.out", "z").
-		MustBuild()
+		Build())
 	h := newHarness(t, c)
 	// Roster order: add, and, or, xor.
 	fns := []func(a, b uint8) uint8{
@@ -251,14 +251,14 @@ func TestAluOps(t *testing.T) {
 }
 
 func TestShifts(t *testing.T) {
-	c := rtl.NewCore("sh").
+	c := must(rtl.NewCore("sh").
 		In("a", 8).
 		Out("l", 8).Out("r", 8).
 		Unit(rtl.Unit{Name: "shl", Op: rtl.OpShl, Width: 8}).
 		Unit(rtl.Unit{Name: "shr", Op: rtl.OpShr, Width: 8}).
 		Wire("a", "shl.in0").Wire("shl.out", "l").
 		Wire("a", "shr.in0").Wire("shr.out", "r").
-		MustBuild()
+		Build())
 	h := newHarness(t, c)
 	h.setIn("a", 0xB5)
 	h.sim.Eval()
@@ -272,11 +272,11 @@ func TestShifts(t *testing.T) {
 }
 
 func TestConstUnit(t *testing.T) {
-	c := rtl.NewCore("k").
+	c := must(rtl.NewCore("k").
 		Out("z", 8).
 		Const("k1", 8, 0x7E).
 		Wire("k1.out", "z").
-		MustBuild()
+		Build())
 	h := newHarness(t, c)
 	h.sim.Eval()
 	if got := h.out("z"); got != 0x7E {
@@ -286,13 +286,13 @@ func TestConstUnit(t *testing.T) {
 
 func TestCloudDeterministic(t *testing.T) {
 	build := func() *gate.Netlist {
-		c := rtl.NewCore("cl").
+		c := must(rtl.NewCore("cl").
 			In("a", 8).
 			Out("z", 4).
 			Cloud("ctl", 1, 8, 4, 50).
 			Wire("a", "ctl.in0").
 			Wire("ctl.out", "z").
-			MustBuild()
+			Build())
 		res, err := Synthesize(c)
 		if err != nil {
 			t.Fatal(err)
@@ -336,13 +336,13 @@ func TestCloudDeterministic(t *testing.T) {
 
 func TestCloudSizeTracksRequest(t *testing.T) {
 	for _, want := range []int{20, 100, 400} {
-		c := rtl.NewCore("cs").
+		c := must(rtl.NewCore("cs").
 			In("a", 8).
 			Out("z", 2).
 			Cloud("ctl", 1, 8, 2, want).
 			Wire("a", "ctl.in0").
 			Wire("ctl.out", "z").
-			MustBuild()
+			Build())
 		res, err := Synthesize(c)
 		if err != nil {
 			t.Fatal(err)
@@ -357,13 +357,13 @@ func TestCloudSizeTracksRequest(t *testing.T) {
 }
 
 func TestUndrivenTiesLow(t *testing.T) {
-	c := rtl.NewCore("und").
+	c := must(rtl.NewCore("und").
 		In("a", 4).
 		Out("z", 8).
 		Reg("r", 8).
 		Wire("a", "r.d[3:0]").
 		Wire("r.q", "z").
-		MustBuild()
+		Build())
 	h := newHarness(t, c)
 	h.setIn("a", 0xF)
 	h.sim.Step()
@@ -373,12 +373,12 @@ func TestUndrivenTiesLow(t *testing.T) {
 }
 
 func TestAreaIncludesDFFsAndMuxes(t *testing.T) {
-	c := rtl.NewCore("area").
+	c := must(rtl.NewCore("area").
 		In("a", 4).CtlIn("en", 1).
 		Out("z", 4).
 		RegLd("r", 4).
 		Wire("a", "r.d").Wire("en", "r.ld").Wire("r.q", "z").
-		MustBuild()
+		Build())
 	res, err := Synthesize(c)
 	if err != nil {
 		t.Fatal(err)
@@ -397,13 +397,13 @@ func TestAreaIncludesDFFsAndMuxes(t *testing.T) {
 }
 
 func TestDecUnit(t *testing.T) {
-	c := rtl.NewCore("decu").
+	c := must(rtl.NewCore("decu").
 		In("a", 8).
 		Out("z", 8).
 		Unit(rtl.Unit{Name: "dec", Op: rtl.OpDec, Width: 8}).
 		Wire("a", "dec.in0").
 		Wire("dec.out", "z").
-		MustBuild()
+		Build())
 	h := newHarness(t, c)
 	f := func(a uint8) bool {
 		h.setIn("a", uint64(a))
@@ -425,7 +425,7 @@ func TestMux8Way(t *testing.T) {
 		b.Wire("k"+name+".out", "m.in"+string(rune('0'+i)))
 	}
 	b.Wire("s", "m.sel").Wire("m.out", "z")
-	c := b.MustBuild()
+	c := must(b.Build())
 	h := newHarness(t, c)
 	for sel, want := range vals {
 		h.setIn("s", uint64(sel))
@@ -438,7 +438,7 @@ func TestMux8Way(t *testing.T) {
 
 func TestCombinationalCycleFails(t *testing.T) {
 	// Mux feeding itself combinationally must be rejected.
-	c := rtl.NewCore("cyc").
+	c := must(rtl.NewCore("cyc").
 		In("a", 4).
 		Out("z", 4).
 		Mux("m1", 4, 2).
@@ -448,7 +448,7 @@ func TestCombinationalCycleFails(t *testing.T) {
 		Wire("m1.out", "m2.in0").
 		Wire("a", "m2.in1").
 		Wire("m2.out", "z").
-		MustBuild()
+		Build())
 	if _, err := Synthesize(c); err == nil {
 		t.Fatal("combinational mux cycle accepted")
 	}
@@ -458,13 +458,13 @@ func TestDecoderCloudSemantics(t *testing.T) {
 	// Decoder clouds are AND/OR-of-minterm structures: outputs must be
 	// non-constant and deterministic.
 	build := func() *gate.Netlist {
-		c := rtl.NewCore("dcs").
+		c := must(rtl.NewCore("dcs").
 			In("a", 8).
 			Out("z", 4).
 			DecodeCloud("dec", 1, 8, 4, 120).
 			Wire("a", "dec.in0").
 			Wire("dec.out", "z").
-			MustBuild()
+			Build())
 		res, err := Synthesize(c)
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,15 @@
+package systems
+
+import "repro/internal/rtl"
+
+// must unwraps rtl.Builder.Build for this package's fixture cores. The
+// fixtures are static — a build error here is a bug in the fixture source,
+// not a runtime condition — so it fails loudly at construction instead of
+// forcing every System1/System2 caller to thread an impossible error.
+// (The library itself no longer offers a panicking build; see rtl.Build.)
+func must(c *rtl.Core, err error) *rtl.Core {
+	if err != nil {
+		panic("systems: fixture core failed to build: " + err.Error())
+	}
+	return c
+}

@@ -17,7 +17,7 @@ import (
 // 12-bit address is exported as AddrLo(7:0)/AddrHi(11:8), matching the
 // split Address nodes of Figures 7 and 9.
 func CPU() *rtl.Core {
-	return rtl.NewCore("CPU").
+	return must(rtl.NewCore("CPU").
 		In("Data", 8).
 		CtlIn("Reset", 1).
 		CtlIn("Interrupt", 1).
@@ -119,7 +119,7 @@ func CPU() *rtl.Core {
 		Wire("ctl.out[15]", "MC1.sel").
 		Wire("AC.q", "alu.in0").
 		Wire("DBUF.q", "alu.in1").
-		MustBuild()
+		Build())
 }
 
 // Preprocessor builds the barcode PREPROCESSOR: a five-stage measurement
@@ -127,7 +127,7 @@ func CPU() *rtl.Core {
 // an address counter, and an end-of-conversion strobe reachable from
 // Reset in two cycles (the (Reset, Eoc) edge of Section 5.2).
 func Preprocessor() *rtl.Core {
-	return rtl.NewCore("PREPROCESSOR").
+	return must(rtl.NewCore("PREPROCESSOR").
 		In("NUM", 8).
 		In("Video", 1).
 		CtlIn("Reset", 1).
@@ -193,7 +193,7 @@ func Preprocessor() *rtl.Core {
 		Wire("pctl.out[5]", "MO.sel").
 		Wire("pctl.out[6]", "MA.sel").
 		Wire("pctl.out[7]", "ME.sel").
-		MustBuild()
+		Build())
 }
 
 // Display builds the DISPLAY core: 66 flip-flops and 20 internal input
@@ -274,7 +274,7 @@ func Display() *rtl.Core {
 		b.Wire("paddr"+digit(i)+".out", "match"+digit(i)+".in1")
 		b.Wire("match"+digit(i)+".out", segName(i)+".ld")
 	}
-	return b.MustBuild()
+	return must(b.Build())
 }
 
 func digit(i int) string { return string(rune('0' + i)) }
@@ -284,7 +284,7 @@ func segName(i int) string { return "SEG" + digit(i) }
 // RAM is a memory stub: tested by march BIST (internal/bist), excluded
 // from the CCG per Section 5.
 func RAM() *rtl.Core {
-	return rtl.NewCore("RAM").
+	return must(rtl.NewCore("RAM").
 		In("Addr", 12).
 		In("Din", 8).
 		CtlIn("WE", 1).
@@ -298,12 +298,12 @@ func RAM() *rtl.Core {
 		Wire("WE", "ramdec.in1[8]").
 		Wire("ramdec.out", "DOUTREG.d").
 		Wire("DOUTREG.q", "Dout").
-		MustBuild()
+		Build())
 }
 
 // ROM is the program memory stub.
 func ROM() *rtl.Core {
-	return rtl.NewCore("ROM").
+	return must(rtl.NewCore("ROM").
 		In("Addr", 12).
 		Out("Dout", 8).
 		Reg("DOUTREG", 8).
@@ -313,7 +313,7 @@ func ROM() *rtl.Core {
 		Wire("AREG.q", "romarr.in0").
 		Wire("romarr.out", "DOUTREG.d").
 		Wire("DOUTREG.q", "Dout").
-		MustBuild()
+		Build())
 }
 
 // System1 assembles the barcode SoC of Figure 2. The CCG of Figure 9

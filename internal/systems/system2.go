@@ -9,7 +9,7 @@ import (
 // (the paper cites the power-management benchmark of [9]): a command
 // pipeline computing pixel coordinates and colors.
 func Graphics() *rtl.Core {
-	return rtl.NewCore("GRAPHICS").
+	return must(rtl.NewCore("GRAPHICS").
 		In("Cmd", 8).
 		In("Px", 8).
 		CtlIn("Go", 1).
@@ -75,13 +75,13 @@ func Graphics() *rtl.Core {
 		Wire("gctl.out[5]", "MCOL.sel").
 		Wire("gctl.out[6]", "MPIX.sel").
 		Wire("gctl.out[7]", "MRDY.sel").
-		MustBuild()
+		Build())
 }
 
 // GCD builds the greatest-common-divisor core from the 1995 high-level
 // synthesis repository [10]: subtract-and-swap datapath.
 func GCD() *rtl.Core {
-	return rtl.NewCore("GCD").
+	return must(rtl.NewCore("GCD").
 		In("Xin", 8).
 		In("Yin", 8).
 		CtlIn("Start", 1).
@@ -124,13 +124,13 @@ func GCD() *rtl.Core {
 		Wire("gcdctl.out[2]", "MGY.sel").
 		Wire("gcdctl.out[3]", "MR.sel").
 		Wire("gcdctl.out[0]", "MD.sel").
-		MustBuild()
+		Build())
 }
 
 // X25 builds the X.25 protocol core [11]: a receive/transmit pipeline
 // with a deep state machine cloud.
 func X25() *rtl.Core {
-	return rtl.NewCore("X25").
+	return must(rtl.NewCore("X25").
 		In("RX", 8).
 		CtlIn("Frame", 1).
 		Out("TX", 8).
@@ -185,7 +185,7 @@ func X25() *rtl.Core {
 		Wire("xctl.out[7]", "MC.sel").
 		Wire("xctl.out[8]", "MTX.sel").
 		Wire("xctl.out[9]", "MST.sel").
-		MustBuild()
+		Build())
 }
 
 // System2 assembles the second evaluation SoC: graphics processor, GCD

@@ -22,6 +22,9 @@ go test -race -run 'TestEnumerateParallel|TestCacheShared' ./internal/explore/
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> go test -fuzz=FuzzValidate (10s smoke)"
+go test -fuzz=FuzzValidate -fuzztime=10s -run '^$' ./internal/rtl/
+
 echo "==> go test -bench=Enumerate (smoke)"
 go test -bench='Enumerate' -benchtime=1x -run '^$' ./internal/explore/
 
