@@ -9,6 +9,7 @@ package repro_test
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"testing"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/resil"
 	"repro/internal/rtl"
 	"repro/internal/sched"
+	"repro/internal/socgen"
 	"repro/internal/synth"
 	"repro/internal/systems"
 	"repro/internal/trans"
@@ -622,6 +624,41 @@ func BenchmarkVectorDelivery(b *testing.B) {
 		if err != nil || got != 0x3C {
 			b.Fatalf("delivery failed: %#x, %v", got, err)
 		}
+	}
+}
+
+// --- Scaling: seeded generated SoCs, 8 to 64 cores -----------------------
+
+// BenchmarkGeneratedChip measures full-flow evaluation (CCG build plus
+// reservation-aware scheduling) on socgen chips of growing core count.
+// Generation and preparation (ATPG skipped via seeded vector counts) stay
+// outside the timer; each iteration re-evaluates the prepared flow.
+func BenchmarkGeneratedChip(b *testing.B) {
+	for _, n := range []int{8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("cores=%d", n), func(b *testing.B) {
+			ch, err := socgen.Generate(socgen.Params{Seed: 1998, Cores: n, Topology: socgen.RandomDAG})
+			if err != nil {
+				b.Fatal(err)
+			}
+			vecs := map[string]int{}
+			for i, c := range ch.TestableCores() {
+				vecs[c.Name] = 10 + i%23
+			}
+			f, err := core.Prepare(ch, &core.Options{VectorOverride: vecs})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var e *core.Evaluation
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e, err = f.Evaluate()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(e.TAT), "TAT-cycles")
+			b.ReportMetric(float64(len(ch.Nets)), "nets")
+		})
 	}
 }
 

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current output")
+
+// TestGoldenOutput locks the complete CLI output for both example systems
+// — the flow is deterministic end to end, so any diff is a behavior
+// change that must be reviewed (and blessed with -update).
+func TestGoldenOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full flow (synthesis + ATPG) twice")
+	}
+	for _, sys := range []int{1, 2} {
+		t.Run(fmt.Sprintf("system%d", sys), func(t *testing.T) {
+			out, err := exec.Command("go", "run", ".", "-system", fmt.Sprint(sys)).CombinedOutput()
+			if err != nil {
+				t.Fatalf("socet -system %d: %v\n%s", sys, err, out)
+			}
+			golden := filepath.Join("testdata", fmt.Sprintf("system%d.golden", sys))
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, out, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create it)", err)
+			}
+			if string(out) != string(want) {
+				t.Errorf("output differs from %s (re-bless with -update if intended)\n--- got ---\n%s\n--- want ---\n%s",
+					golden, out, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,109 @@
+// Command socgen generates seeded random SoCs for the SOCET flow: a
+// deterministic dump of the chip's cores, pins and nets, optionally the
+// full flow (version ladders, schedule, TAT) and the property-based
+// differential verification of internal/proptest.
+//
+// Usage:
+//
+//	socgen -seed 7                       # dump one chip
+//	socgen -seed 7 -cores 12 -topology mesh -flow
+//	socgen -count 20 -verify             # verify a sweep of seeds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/proptest"
+	"repro/internal/soc"
+	"repro/internal/socgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("socgen: ")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	cores := flag.Int("cores", 0, "logic core count (0 = derived from the seed)")
+	topology := flag.String("topology", "auto", "interconnect family: auto, chain, mesh, dag, hub")
+	count := flag.Int("count", 1, "number of consecutive seeds starting at -seed")
+	flow := flag.Bool("flow", false, "run the SOCET flow and print the schedule summary")
+	verify := flag.Bool("verify", false, "run the full property battery (implies the flow)")
+	flag.Parse()
+
+	topo, err := socgen.ParseTopology(*topology)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < *count; i++ {
+		p := socgen.Params{Seed: *seed + uint64(i), Cores: *cores, Topology: topo}
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := run(p, *flow, *verify); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func run(p socgen.Params, flow, verify bool) error {
+	ch, err := socgen.Generate(p)
+	if err != nil {
+		return err
+	}
+	dump(ch)
+	if verify {
+		st, err := proptest.Check(p)
+		if err != nil {
+			min := proptest.Shrink(p)
+			return fmt.Errorf("verification failed: %w\nshrunk reproducer: -seed %d -cores %d -topology %s",
+				err, min.Seed, min.Cores, min.Topology)
+		}
+		fmt.Printf("verified: %d paths, %d replayed on chipsim, %d virtual, %d fully simulated cores\n",
+			st.Paths, st.Replayed, st.Virtual, st.FullCores)
+		return nil
+	}
+	if !flow {
+		return nil
+	}
+	vecs := map[string]int{}
+	for i, c := range ch.TestableCores() {
+		vecs[c.Name] = 10 + i%23
+	}
+	f, err := core.Prepare(ch, &core.Options{VectorOverride: vecs})
+	if err != nil {
+		return err
+	}
+	e, err := f.Evaluate()
+	if err != nil {
+		return err
+	}
+	fmt.Println("flow:")
+	for _, c := range ch.TestableCores() {
+		fmt.Printf("  %s: %d versions\n", c.Name, len(c.Versions))
+	}
+	for _, cs := range e.Sched.Cores {
+		fmt.Printf("  %s: %d vectors x period %d + tail %d = TAT %d\n",
+			cs.Core, cs.HSCANVectors, cs.Period, cs.Tail, cs.TAT)
+	}
+	fmt.Printf("  chip TAT %d cycles, DFT overhead %d cells\n", e.TAT, e.ChipDFTCells())
+	return nil
+}
+
+func dump(ch *soc.Chip) {
+	fmt.Printf("chip %s\n", ch.Name)
+	for _, c := range ch.Cores {
+		kind := "core"
+		if c.Memory {
+			kind = "memory"
+		}
+		fmt.Printf("  %s %s: %d in, %d out, %d regs, %d muxes, %d units\n",
+			kind, c.Name, len(c.RTL.Inputs()), len(c.RTL.Outputs()),
+			len(c.RTL.Regs), len(c.RTL.Muxes), len(c.RTL.Units))
+	}
+	fmt.Printf("  pins: %d PIs, %d POs\n", len(ch.PIs), len(ch.POs))
+	for _, n := range ch.Nets {
+		fmt.Printf("  net %s\n", n)
+	}
+}

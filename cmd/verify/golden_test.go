@@ -1,0 +1,48 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current output")
+
+// TestGoldenOutput locks the verification battery's complete output for
+// both example systems: replayed edge counts, chain drives, schedule
+// replay and the live delivery line. Any diff is a behavior change to
+// review (and bless with -update).
+func TestGoldenOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full flow (synthesis + ATPG) twice")
+	}
+	for _, sys := range []int{1, 2} {
+		t.Run(fmt.Sprintf("system%d", sys), func(t *testing.T) {
+			out, err := exec.Command("go", "run", ".", "-system", fmt.Sprint(sys)).CombinedOutput()
+			if err != nil {
+				t.Fatalf("verify -system %d: %v\n%s", sys, err, out)
+			}
+			golden := filepath.Join("testdata", fmt.Sprintf("system%d.golden", sys))
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, out, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create it)", err)
+			}
+			if string(out) != string(want) {
+				t.Errorf("output differs from %s (re-bless with -update if intended)\n--- got ---\n%s\n--- want ---\n%s",
+					golden, out, want)
+			}
+		})
+	}
+}

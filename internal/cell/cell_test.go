@@ -55,3 +55,29 @@ func TestEmptyAreaString(t *testing.T) {
 		t.Errorf("area string = %q, want NAND2:2", a.String())
 	}
 }
+
+func TestKindBoundsAndInputs(t *testing.T) {
+	if got := Kind(-1).String(); got != "Kind(-1)" {
+		t.Fatalf("out-of-range String = %q", got)
+	}
+	if Kind(-1).Grids() != 0 || Kind(999).Grids() != 0 {
+		t.Fatal("out-of-range Grids must be 0")
+	}
+	wantIn := map[Kind]int{
+		Inv: 1, Buf: 1, DFF: 1,
+		Nand2: 2, Nor2: 2, And2: 2, Or2: 2, Xor2: 2, Xnor2: 2, SDFF: 2, BScell: 2,
+		Mux2:  3,
+		TieLo: 0, TieHi: 0, Kind(999): 0,
+	}
+	for k, n := range wantIn {
+		if k.Inputs() != n {
+			t.Fatalf("%v.Inputs() = %d, want %d", k, k.Inputs(), n)
+		}
+	}
+	var a Area
+	a.Add(Inv, 3)
+	a.Add(Kind(-1), 5) // ignored
+	if a.Count(Inv) != 3 || a.Count(Kind(-1)) != 0 || a.Count(Kind(999)) != 0 {
+		t.Fatal("Count bounds handling wrong")
+	}
+}

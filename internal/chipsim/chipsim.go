@@ -10,6 +10,7 @@ package chipsim
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/obs"
 	"repro/internal/rtlsim"
@@ -149,32 +150,75 @@ func (s *Sim) ChipOutput(name string) (uint64, error) {
 	return 0, fmt.Errorf("chipsim: no net drives PO %q", name)
 }
 
-// EngageJustification configures a core for the justification path of one
-// of its outputs in the given version: every multiplexer hop along the
-// path is forced and every register the path loads has its load asserted.
-// It returns the path latency. Created transparency-mux edges cannot be
-// engaged (they are hardware the surrogate RTL does not contain).
-func EngageJustification(cs *rtlsim.Sim, v *trans.Version, output string) (int, error) {
-	p, ok := v.Just[output]
-	if !ok {
-		return 0, fmt.Errorf("chipsim: version has no justification for %s", output)
-	}
+// EngagePath configures a core for one solved transparency path
+// (justification or propagation): every multiplexer hop along the path is
+// forced and every register the path loads has its load asserted. Created
+// transparency-mux and scan-mux edges cannot be engaged (they are hardware
+// the surrogate RTL does not contain). Edges are visited in id order so
+// conflicting forcings resolve deterministically.
+func EngagePath(cs *rtlsim.Sim, v *trans.Version, p *trans.PathUse) error {
+	return EngageElaboratedPath(cs, v, p, nil)
+}
+
+// EngageElaboratedPath is EngagePath for a core whose DFT hardware has
+// been physically elaborated: dftMux maps the RCG edge id of each created
+// transparency or scan mux to the name of the inserted multiplexer, which
+// is forced to its test input (in1) instead of being rejected.
+func EngageElaboratedPath(cs *rtlsim.Sim, v *trans.Version, p *trans.PathUse, dftMux map[int]string) error {
+	ids := make([]int, 0, len(p.Edges))
 	for id := range p.Edges {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
 		e := v.RCG.Edges[id]
 		if e.Created || e.ScanMux {
-			return 0, fmt.Errorf("chipsim: justification of %s uses non-RTL edge %d", output, id)
-		}
-		for _, h := range e.Hops {
-			if err := cs.ForceMux(h.Mux, h.Sel); err != nil {
-				return 0, err
+			name, ok := dftMux[id]
+			if !ok {
+				return fmt.Errorf("chipsim: path uses non-RTL edge %d", id)
+			}
+			if err := cs.ForceMux(name, 1); err != nil {
+				return err
+			}
+		} else {
+			for _, h := range e.Hops {
+				if err := cs.ForceMux(h.Mux, h.Sel); err != nil {
+					return err
+				}
 			}
 		}
 		to := v.RCG.Nodes[e.To]
 		if to.Kind == trans.NodeReg && to.HasLoad {
 			if err := cs.ForceLoad(to.Name, true); err != nil {
-				return 0, err
+				return err
 			}
 		}
+	}
+	return nil
+}
+
+// EngageJustification configures a core for the justification path of one
+// of its outputs in the given version and returns the path latency.
+func EngageJustification(cs *rtlsim.Sim, v *trans.Version, output string) (int, error) {
+	p, ok := v.Just[output]
+	if !ok {
+		return 0, fmt.Errorf("chipsim: version has no justification for %s", output)
+	}
+	if err := EngagePath(cs, v, p); err != nil {
+		return 0, fmt.Errorf("chipsim: justification of %s: %w", output, err)
+	}
+	return p.Latency, nil
+}
+
+// EngagePropagation configures a core for the propagation path of one of
+// its inputs in the given version and returns the path latency.
+func EngagePropagation(cs *rtlsim.Sim, v *trans.Version, input string) (int, error) {
+	p, ok := v.Prop[input]
+	if !ok {
+		return 0, fmt.Errorf("chipsim: version has no propagation for %s", input)
+	}
+	if err := EngagePath(cs, v, p); err != nil {
+		return 0, fmt.Errorf("chipsim: propagation of %s: %w", input, err)
 	}
 	return p.Latency, nil
 }

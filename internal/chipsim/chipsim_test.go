@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/chipsim"
 	"repro/internal/core"
+	"repro/internal/soc"
 	"repro/internal/systems"
 )
 
@@ -160,5 +161,69 @@ func TestChipOutputReadsDisplayPorts(t *testing.T) {
 	}
 	if _, err := s.ChipOutput("NOPE"); err == nil {
 		t.Error("unknown PO accepted")
+	}
+}
+
+// TestEngagePropagationWrapper drives the propagation wrapper over every
+// core and version of System 1: each input either engages (returning the
+// version's claimed latency) or is rejected because its path rides DFT
+// hardware the bare RTL does not contain; unknown ports always error.
+func TestEngagePropagationWrapper(t *testing.T) {
+	f := prepared(t)
+	engaged := 0
+	for _, c := range f.Chip.TestableCores() {
+		for _, v := range c.Versions {
+			for _, in := range c.RTL.Inputs() {
+				s, err := chipsim.New(f.Chip)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cs, _ := s.Core(c.Name)
+				lat, err := chipsim.EngagePropagation(cs, v, in.Name)
+				if err != nil {
+					continue
+				}
+				engaged++
+				if want := v.PropLatency(in.Name); lat != want {
+					t.Errorf("%s %s %s: engaged latency %d != ladder latency %d",
+						c.Name, v.Label, in.Name, lat, want)
+				}
+			}
+		}
+	}
+	if engaged == 0 {
+		t.Fatal("no propagation path engaged on any core")
+	}
+	s, _ := chipsim.New(f.Chip)
+	cpu, _ := f.Chip.CoreByName("CPU")
+	cs, _ := s.Core("CPU")
+	if _, err := chipsim.EngagePropagation(cs, cpu.Versions[0], "NOPE"); err == nil {
+		t.Error("unknown input port accepted")
+	}
+	if _, err := chipsim.EngageJustification(cs, cpu.Versions[0], "NOPE"); err == nil {
+		t.Error("unknown output port accepted")
+	}
+}
+
+func TestSimAccessorErrors(t *testing.T) {
+	s, err := chipsim.New(systems.System1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetPI("NOPE", 1); err == nil {
+		t.Fatal("unknown PI accepted")
+	}
+	if _, err := s.CoreInput("CPU", "NOPE"); err == nil {
+		t.Fatal("undriven core input read without error")
+	}
+	if _, err := s.ChipOutput("NOPE"); err == nil {
+		t.Fatal("unknown PO read without error")
+	}
+	if _, ok := s.Core("GHOST"); ok {
+		t.Fatal("unknown core reported present")
+	}
+	bad := &soc.Chip{Nets: []soc.Net{{FromPort: "GHOST", ToPort: "GHOST"}}}
+	if _, err := chipsim.New(bad); err == nil {
+		t.Fatal("invalid chip accepted")
 	}
 }

@@ -196,3 +196,13 @@ func TestAggregateStats(t *testing.T) {
 		t.Error("no HSCAN cells")
 	}
 }
+
+func TestSubtract(t *testing.T) {
+	got := subtract([]string{"a", "b", "c", "b"}, []string{"b"})
+	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Fatalf("subtract = %v, want [a c]", got)
+	}
+	if got := subtract(nil, []string{"x"}); len(got) != 0 {
+		t.Fatalf("subtract(nil) = %v", got)
+	}
+}

@@ -1,0 +1,74 @@
+package resil
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/soc"
+	"repro/internal/systems"
+)
+
+var (
+	fuzzChipOnce sync.Once
+	fuzzChip     *soc.Chip
+)
+
+// fuzzSystem returns a cached System 1 chip; ParseFaults only reads it
+// (validation applies faults to a clone).
+func fuzzSystem() *soc.Chip {
+	fuzzChipOnce.Do(func() { fuzzChip = systems.System1() })
+	return fuzzChip
+}
+
+// FuzzParseFaults hammers the fault-spec grammar: arbitrary input must
+// either be rejected with an error or produce a fault set that parses
+// deterministically and injects cleanly into a chip clone. The parser
+// must never panic and never return both a fault set and an error.
+func FuzzParseFaults(f *testing.F) {
+	f.Add("cut:CPU.AddrLo->DISPLAY.ALo")
+	f.Add("cut:NUM->PREPROCESSOR.NUM")
+	f.Add("opaque:CPU")
+	f.Add("slow:DISPLAY")
+	f.Add("slow:DISPLAY:3")
+	f.Add("noscan:PREPROCESSOR")
+	f.Add("cut:CPU.AddrLo->DISPLAY.ALo, opaque:PREPROCESSOR ,slow:CPU:4")
+	f.Add("")
+	f.Add(" , ,, ")
+	f.Add("cut:")
+	f.Add("cut:A->")
+	f.Add("slow:CPU:-1")
+	f.Add("slow:CPU:x")
+	f.Add("bogus:CPU")
+	f.Add("opaque:NOSUCHCORE")
+	f.Add("cut:CPU.AddrLo->DISPLAY.ALo,cut:CPU.AddrLo->DISPLAY.ALo")
+	f.Add("noscan:MEMORY")
+	f.Add(strings.Repeat("opaque:CPU,", 40))
+	f.Fuzz(func(t *testing.T, spec string) {
+		ch := fuzzSystem()
+		faults, err := ParseFaults(ch, spec)
+		if err != nil {
+			if faults != nil {
+				t.Fatalf("spec %q: error %v alongside a non-nil fault set", spec, err)
+			}
+			return
+		}
+		// Accepted specs must parse identically a second time...
+		again, err := ParseFaults(ch, spec)
+		if err != nil {
+			t.Fatalf("spec %q: accepted once, rejected on re-parse: %v", spec, err)
+		}
+		if FaultSetString(faults) != FaultSetString(again) {
+			t.Fatalf("spec %q: two parses disagree: %s vs %s",
+				spec, FaultSetString(faults), FaultSetString(again))
+		}
+		// ...and inject cleanly into a clone without touching the original.
+		before := len(ch.Nets)
+		if _, err := Inject(ch, faults...); err != nil {
+			t.Fatalf("spec %q: parsed but failed to inject: %v", spec, err)
+		}
+		if len(ch.Nets) != before {
+			t.Fatalf("spec %q: injection mutated the base chip", spec)
+		}
+	})
+}

@@ -189,9 +189,12 @@ func FaultSetString(fs []Fault) string {
 //	slow:CORE[:K]    multiply the core's transparency latencies by K (>=2)
 //	noscan:CORE      break the core's HSCAN chain
 //
-// Core and net names are validated against ch.
+// Core and net names are validated against ch, cumulatively: an accepted
+// spec is guaranteed to Inject without error (a second cut of the same
+// net, say, is rejected here rather than at injection time).
 func ParseFaults(ch *soc.Chip, spec string) ([]Fault, error) {
 	var out []Fault
+	probe := CloneChip(ch)
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -237,8 +240,9 @@ func ParseFaults(ch *soc.Chip, spec string) ([]Fault, error) {
 		default:
 			return nil, fmt.Errorf("resil: fault %q: unknown kind %q (want cut, opaque, slow or noscan)", part, fields[0])
 		}
-		// Validate against the real chip without mutating it.
-		if err := f.Apply(CloneChip(ch)); err != nil {
+		// Validate on the probe clone, never mutating the real chip; the
+		// clone accumulates so overlapping faults are caught at parse time.
+		if err := f.Apply(probe); err != nil {
 			return nil, err
 		}
 		out = append(out, f)

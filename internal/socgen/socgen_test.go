@@ -1,0 +1,174 @@
+package socgen
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+
+	"repro/internal/soc"
+)
+
+func coreIndex(t *testing.T, name string) int {
+	t.Helper()
+	if len(name) != 3 || name[0] != 'C' {
+		t.Fatalf("unexpected core name %q", name)
+	}
+	n, err := strconv.Atoi(name[1:])
+	if err != nil {
+		t.Fatalf("unexpected core name %q", name)
+	}
+	return n
+}
+
+// interCoreNets returns the nets between two logic cores (pin and memory
+// nets excluded).
+func interCoreNets(ch *soc.Chip) []soc.Net {
+	mem := map[string]bool{}
+	for _, c := range ch.Cores {
+		if c.Memory {
+			mem[c.Name] = true
+		}
+	}
+	var out []soc.Net
+	for _, n := range ch.Nets {
+		if n.FromCore == "" || n.ToCore == "" || mem[n.FromCore] || mem[n.ToCore] {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		p := Params{Seed: seed}
+		a, err := Generate(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := Generate(p)
+		if err != nil {
+			t.Fatalf("seed %d (second draw): %v", seed, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two draws differ", seed)
+		}
+	}
+}
+
+func TestTopologyShapes(t *testing.T) {
+	for _, topo := range Topologies() {
+		t.Run(topo.String(), func(t *testing.T) {
+			for seed := uint64(0); seed < 15; seed++ {
+				p := Params{Seed: seed, Topology: topo, Memories: -1}
+				ch, err := Generate(p)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if err := ch.Validate(); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if len(ch.POs) == 0 {
+					t.Fatalf("seed %d: chip has no POs", seed)
+				}
+				cols := MeshCols(len(ch.Cores))
+				for _, n := range interCoreNets(ch) {
+					from, to := coreIndex(t, n.FromCore), coreIndex(t, n.ToCore)
+					switch topo {
+					case Chain:
+						if to-from != 1 {
+							t.Fatalf("seed %d: chain net %s skips cores", seed, n)
+						}
+					case Mesh:
+						d := to - from
+						sameRow := from/cols == to/cols
+						if !(d == 1 && sameRow) && d != cols {
+							t.Fatalf("seed %d: mesh net %s is not a grid-neighbour link (cols=%d)", seed, n, cols)
+						}
+					case RandomDAG:
+						if to <= from {
+							t.Fatalf("seed %d: dag net %s is not forward", seed, n)
+						}
+					case Hub:
+						if from != 0 {
+							t.Fatalf("seed %d: hub net %s does not originate at the hub", seed, n)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPinBudgets(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		p := Params{Seed: seed, Cores: 5, PIBudget: 3, POBudget: 2, Memories: -1}
+		ch, err := Generate(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(ch.PIs) > 3 {
+			t.Fatalf("seed %d: %d PIs exceed budget 3", seed, len(ch.PIs))
+		}
+		if len(ch.POs) > 2 {
+			t.Fatalf("seed %d: %d POs exceed budget 2", seed, len(ch.POs))
+		}
+		if len(ch.POs) == 0 {
+			t.Fatalf("seed %d: no POs under budget", seed)
+		}
+	}
+}
+
+func TestMemoriesExcludedFromTestable(t *testing.T) {
+	ch, err := Generate(Params{Seed: 7, Cores: 3, Memories: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Cores) != 5 {
+		t.Fatalf("want 3 logic + 2 memory cores, got %d", len(ch.Cores))
+	}
+	if n := len(ch.TestableCores()); n != 3 {
+		t.Fatalf("want 3 testable cores, got %d", n)
+	}
+}
+
+func TestParseTopology(t *testing.T) {
+	for _, topo := range append(Topologies(), Auto) {
+		got, err := ParseTopology(topo.String())
+		if err != nil || got != topo {
+			t.Fatalf("round trip of %s: got %v, %v", topo, got, err)
+		}
+	}
+	if _, err := ParseTopology("torus"); err == nil {
+		t.Fatal("want error for unknown topology")
+	}
+}
+
+func TestManySkipsNothingByDefault(t *testing.T) {
+	chips := Many(25, 100, Params{})
+	if len(chips) < 20 {
+		t.Fatalf("only %d/25 seeds generated successfully", len(chips))
+	}
+	names := map[string]bool{}
+	for _, ch := range chips {
+		if names[ch.Name] {
+			t.Fatalf("duplicate chip name %s", ch.Name)
+		}
+		names[ch.Name] = true
+	}
+}
+
+func TestGenerateExplicitWidths(t *testing.T) {
+	allowed := map[int]bool{4: true, 9: true}
+	ch, err := Generate(Params{Seed: 5, Cores: 4, Widths: []int{4, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range ch.Cores {
+		for _, p := range c.RTL.Ports {
+			if !allowed[p.Width] && !p.Control {
+				t.Fatalf("core %s port %s has width %d outside the configured set", c.Name, p.Name, p.Width)
+			}
+		}
+	}
+}

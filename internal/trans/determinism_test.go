@@ -1,0 +1,85 @@
+package trans_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/hscan"
+	"repro/internal/systems"
+	"repro/internal/trans"
+)
+
+// ladderSignature renders a version ladder to one canonical string:
+// every RCG edge (created muxes included) and every solved path with its
+// latency, edge set and endpoints.
+func ladderSignature(vs []*trans.Version) string {
+	var b []byte
+	app := func(format string, args ...interface{}) { b = append(b, fmt.Sprintf(format, args...)...) }
+	for _, v := range vs {
+		app("version %d area=%d\n", v.Index, v.Area.Cells())
+		for _, e := range v.RCG.Edges {
+			app(" edge %d %d->%d s[%d:%d] d[%d:%d] h=%v c=%v sm=%v\n",
+				e.ID, e.From, e.To, e.SrcLo, e.SrcHi, e.DstLo, e.DstHi, e.HSCAN, e.Created, e.ScanMux)
+		}
+		for _, m := range []map[string]*trans.PathUse{v.Just, v.Prop} {
+			var names []string
+			for n := range m {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				p := m[n]
+				var edges []string
+				for id, mask := range p.Edges {
+					edges = append(edges, fmt.Sprintf("%d:%x", id, mask))
+				}
+				sort.Strings(edges)
+				var ends []int
+				for e := range p.Ends {
+					ends = append(ends, e)
+				}
+				sort.Ints(ends)
+				app(" path %s lat=%d edges=%v ends=%v\n", n, p.Latency, edges, ends)
+			}
+		}
+	}
+	return string(b)
+}
+
+// TestVersionLadderDeterministic builds every System 1 core's version
+// ladder 40 times and requires bit-identical results each time.
+// createJustEdges/createPropEdges pick mux endpoints based on which
+// created edges already exist, so any map-order iteration over the ports
+// feeding them makes the ladder differ from build to build (this
+// regressed once: the upgrade batching in Versions iterated
+// prev.Just/prev.Prop directly, and cores with several ports tied at the
+// worst latency — System 1's DISPLAY — got different mux assignments).
+func TestVersionLadderDeterministic(t *testing.T) {
+	for _, c := range systems.System1().TestableCores() {
+		t.Run(c.Name, func(t *testing.T) {
+			scan, err := hscan.Insert(c.RTL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := trans.Build(c.RTL, scan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vs, err := trans.Versions(base.Clone())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ladderSignature(vs)
+			for i := 1; i < 40; i++ {
+				vs, err := trans.Versions(base.Clone())
+				if err != nil {
+					t.Fatalf("rebuild %d: %v", i, err)
+				}
+				if got := ladderSignature(vs); got != want {
+					t.Fatalf("rebuild %d produced a different ladder:\n%s\n--- first ---\n%s", i, got, want)
+				}
+			}
+		})
+	}
+}

@@ -489,17 +489,20 @@ func Versions(base *RCG) ([]*Version, error) {
 		if lat <= 1 {
 			break
 		}
+		// Visit ports in sorted name order: created-mux endpoint choice
+		// depends on which edges exist already, so iteration order is
+		// part of the result and must not follow map order.
 		g := prev.RCG.Clone()
-		for name, p := range prev.Just {
-			if p.Latency == lat {
+		for _, name := range sortedPorts(prev.Just) {
+			if prev.Just[name].Latency == lat {
 				node, _ := g.NodeIndex(name)
 				if err := g.createJustEdges(node); err != nil {
 					return nil, err
 				}
 			}
 		}
-		for name, p := range prev.Prop {
-			if p.Latency == lat {
+		for _, name := range sortedPorts(prev.Prop) {
+			if prev.Prop[name].Latency == lat {
 				node, _ := g.NodeIndex(name)
 				if err := g.createPropEdges(node, true); err != nil {
 					return nil, err
@@ -560,6 +563,16 @@ func paretoPrune(vs []*Version) []*Version {
 			out = append(out, v)
 		}
 	}
+	return out
+}
+
+// sortedPorts returns the map's port names in sorted order.
+func sortedPorts(m map[string]*PathUse) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
 	return out
 }
 

@@ -25,6 +25,9 @@ go test -race ./...
 echo "==> go test -fuzz=FuzzValidate (10s smoke)"
 go test -fuzz=FuzzValidate -fuzztime=10s -run '^$' ./internal/rtl/
 
+echo "==> go test -fuzz=FuzzParseFaults (10s smoke)"
+go test -fuzz=FuzzParseFaults -fuzztime=10s -run '^$' ./internal/resil/
+
 echo "==> go test -bench=Enumerate (smoke)"
 go test -bench='Enumerate' -benchtime=1x -run '^$' ./internal/explore/
 

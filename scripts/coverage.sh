@@ -1,0 +1,23 @@
+#!/bin/sh
+# Coverage gate: run the full test suite with coverage over internal/...
+# and fail if the total drops below the recorded baseline. Raise the
+# baseline when new tests push coverage up; never lower it to make a
+# regression pass.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASELINE=90.1
+
+profile=$(mktemp /tmp/cover.XXXXXX.out)
+trap 'rm -f "$profile"' EXIT
+
+go test -count=1 -coverprofile="$profile" -coverpkg=./internal/... ./... > /dev/null
+
+total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+
+echo "coverage: ${total}% (baseline ${BASELINE}%)"
+awk -v t="$total" -v b="$BASELINE" 'BEGIN { exit (t+0 >= b+0) ? 0 : 1 }' || {
+    echo "coverage ${total}% fell below the ${BASELINE}% baseline" >&2
+    exit 1
+}
