@@ -38,6 +38,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock bound on each enumeration (0 = none); on expiry the partial Pareto front is printed instead of the tables")
 	fault := flag.String("fault", "", "inject faults (see socet -fault) and print each system's degradation report")
 	obsCfg := obscli.AddFlags(flag.CommandLine)
+	obsCfg.AddProgressFlag(flag.CommandLine)
 	flag.Parse()
 	sess, err := obsCfg.Start()
 	if err != nil {

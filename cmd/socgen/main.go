@@ -16,6 +16,7 @@ import (
 	"log"
 
 	"repro/internal/core"
+	"repro/internal/obs/obscli"
 	"repro/internal/proptest"
 	"repro/internal/soc"
 	"repro/internal/socgen"
@@ -30,7 +31,13 @@ func main() {
 	count := flag.Int("count", 1, "number of consecutive seeds starting at -seed")
 	flow := flag.Bool("flow", false, "run the SOCET flow and print the schedule summary")
 	verify := flag.Bool("verify", false, "run the full property battery (implies the flow)")
+	obsCfg := obscli.AddFlags(flag.CommandLine)
 	flag.Parse()
+	sess, err := obsCfg.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
 
 	topo, err := socgen.ParseTopology(*topology)
 	if err != nil {

@@ -5,9 +5,16 @@
 // Usage:
 //
 //	tradeoff [-system 1|2] [-pareto] [-timeout 30s]
+//	tradeoff -gen -cores 64 -seed 7 [-topology dag] [-max-points 20000]
 //
 // With -timeout, an enumeration that runs out of time prints the Pareto
-// front of the points completed so far instead of failing.
+// front of the points completed so far instead of failing. With -gen the
+// chip is a seeded random SoC (internal/socgen) instead of an example
+// system; since the version ladder of a generated chip explodes
+// combinatorially, -max-points caps the enumeration at a deterministic
+// prefix of the design space. Live observability: -progress prints
+// one-line status updates, -obs-listen serves /metrics, /progress (SSE)
+// and /trace over HTTP while the enumeration runs.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"repro/internal/obs/obscli"
 	"repro/internal/report"
 	"repro/internal/soc"
+	"repro/internal/socgen"
 	"repro/internal/systems"
 )
 
@@ -32,7 +40,13 @@ func main() {
 	pareto := flag.Bool("pareto", false, "print only the Pareto front")
 	jobs := flag.Int("j", 0, "parallel evaluation workers (0 = GOMAXPROCS); output is identical at any count")
 	timeout := flag.Duration("timeout", 0, "wall-clock bound on the enumeration (0 = none); on expiry the partial Pareto front is printed")
+	maxPoints := flag.Int("max-points", 0, "cap the enumeration at `n` design points (0 = all); the capped set is a deterministic prefix")
+	gen := flag.Bool("gen", false, "explore a seeded random SoC (internal/socgen) instead of an example system")
+	seed := flag.Uint64("seed", 1, "generator seed (with -gen)")
+	cores := flag.Int("cores", 0, "generated logic core count, 0 = derived from the seed (with -gen)")
+	topology := flag.String("topology", "auto", "generated interconnect family: auto, chain, mesh, dag, hub (with -gen)")
 	obsCfg := obscli.AddFlags(flag.CommandLine)
+	obsCfg.AddProgressFlag(flag.CommandLine)
 	flag.Parse()
 	sess, err := obsCfg.Start()
 	if err != nil {
@@ -40,16 +54,11 @@ func main() {
 	}
 	defer sess.Close()
 
-	var ch *soc.Chip
-	switch *system {
-	case 1:
-		ch = systems.System1()
-	case 2:
-		ch = systems.System2()
-	default:
-		log.Fatal("-system must be 1 or 2")
+	ch, opts, err := pickChip(*gen, *system, *seed, *cores, *topology)
+	if err != nil {
+		log.Fatal(err)
 	}
-	f, err := core.Prepare(ch, nil)
+	f, err := core.Prepare(ch, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,7 +68,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	points, err := explore.EnumerateCtx(ctx, f, explore.Options{Workers: *jobs})
+	points, err := explore.EnumerateCtx(ctx, f, explore.Options{Workers: *jobs, MaxPoints: *maxPoints})
 	expired := errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
 	if err != nil && !expired {
 		log.Fatal(err)
@@ -91,4 +100,33 @@ func main() {
 	for _, r := range report.Table1(f, points) {
 		fmt.Printf("%-58s %8d %9d %5.1f%% %5.1f%%\n", r.Desc, r.AreaOv, r.TATime, r.FCov, r.TestEff)
 	}
+}
+
+// pickChip resolves the explored chip: an example system, or with gen a
+// seeded random SoC. Generated cores carry no gate-level netlists, so
+// their vector counts come from a seed-derived override (the same rule
+// cmd/socgen -flow uses) rather than from ATPG.
+func pickChip(gen bool, system int, seed uint64, cores int, topology string) (*soc.Chip, *core.Options, error) {
+	if !gen {
+		switch system {
+		case 1:
+			return systems.System1(), nil, nil
+		case 2:
+			return systems.System2(), nil, nil
+		}
+		return nil, nil, fmt.Errorf("-system must be 1 or 2")
+	}
+	topo, err := socgen.ParseTopology(topology)
+	if err != nil {
+		return nil, nil, err
+	}
+	ch, err := socgen.Generate(socgen.Params{Seed: seed, Cores: cores, Topology: topo})
+	if err != nil {
+		return nil, nil, err
+	}
+	vecs := map[string]int{}
+	for i, c := range ch.TestableCores() {
+		vecs[c.Name] = 10 + i%23
+	}
+	return ch, &core.Options{VectorOverride: vecs}, nil
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/ccg"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/progress"
 	"repro/internal/soc"
 )
 
@@ -64,6 +65,11 @@ type Options struct {
 	// prepared flow; share it between Enumerate and Improve so the
 	// improvement walk reuses points the enumeration already visited.
 	Cache *Cache
+	// MaxPoints caps how many selections Enumerate generates (<= 0 means
+	// every combination). Generation order is fixed, so a capped run
+	// evaluates a deterministic prefix of the full enumeration — the only
+	// way to sweep a chip whose |versions|^n product is astronomical.
+	MaxPoints int
 }
 
 // Cache memoizes chip-level evaluations keyed by the canonical
@@ -124,14 +130,14 @@ func (c *Cache) Len() int {
 	return len(c.m)
 }
 
-// allSelections lists every core-version combination in the fixed
-// enumeration order (the first core varies slowest). A core with an empty
-// version ladder yields no combinations.
-func allSelections(cores []*soc.Core) []map[string]int {
-	total := 1
-	for _, c := range cores {
-		total *= len(c.Versions)
-	}
+// allSelections lists core-version combinations in the fixed enumeration
+// order (the first core varies slowest), stopping after max combinations
+// when max > 0. A core with an empty version ladder yields no
+// combinations. The combination count is computed overflow-safely, so a
+// 256-core chip with a capped enumeration neither overflows nor tries to
+// materialize |versions|^n maps.
+func allSelections(cores []*soc.Core, max int) []map[string]int {
+	total := selectionCount(cores, max)
 	if total == 0 {
 		return nil
 	}
@@ -143,6 +149,9 @@ func allSelections(cores []*soc.Core) []map[string]int {
 			sel[c.Name] = idx[i]
 		}
 		out = append(out, sel)
+		if len(out) == total {
+			break
+		}
 		k := len(cores) - 1
 		for k >= 0 {
 			idx[k]++
@@ -157,6 +166,27 @@ func allSelections(cores []*soc.Core) []map[string]int {
 		}
 	}
 	return out
+}
+
+// selectionCount returns min(product of ladder lengths, max) without
+// overflowing (max <= 0 means uncapped; 0 is returned only for an empty
+// ladder somewhere).
+func selectionCount(cores []*soc.Core, max int) int {
+	total := 1
+	for _, c := range cores {
+		n := len(c.Versions)
+		if n == 0 {
+			return 0
+		}
+		if max > 0 && total > max/n {
+			return max // product already exceeds the cap; stop multiplying
+		}
+		total *= n
+	}
+	if max > 0 && total > max {
+		return max
+	}
+	return total
 }
 
 // Enumerate evaluates every combination of core versions, returning the
@@ -186,7 +216,10 @@ func EnumerateCtx(ctx context.Context, f *core.Flow, o Options) ([]Point, error)
 	sp := obs.Start(nil, "explore/enumerate")
 	defer sp.End()
 	cPoints := obs.C("explore.points_evaluated")
-	sels := allSelections(f.Chip.TestableCores())
+	sels := allSelections(f.Chip.TestableCores(), o.MaxPoints)
+	prog := progress.Start("explore/enumerate", int64(len(sels)),
+		"explore.points_evaluated", "explore.cache_hits", "explore.cache_misses")
+	defer prog.End()
 	workers := o.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -219,6 +252,7 @@ func EnumerateCtx(ctx context.Context, f *core.Flow, o Options) ([]Point, error)
 		}
 		done[i] = true
 		cPoints.Inc()
+		prog.Step(1)
 		return nil
 	}
 	var first error
@@ -452,6 +486,9 @@ func ImproveOpts(f *core.Flow, obj Objective, budget int, o Options) (*Result, e
 func ImproveCtx(ctx context.Context, f *core.Flow, obj Objective, budget int, o Options) (*Result, error) {
 	root := obs.Start(nil, "explore/improve")
 	defer root.End()
+	prog := progress.Start("explore/improve", 0,
+		"explore.moves_accepted", "explore.moves_rejected", "explore.cache_hits", "explore.cache_misses")
+	defer prog.End()
 	cAccepted := obs.C("explore.moves_accepted")
 	cRejected := obs.C("explore.moves_rejected")
 	e, err := o.Cache.EvaluateCtx(ctx, f, f.CurrentSelection())
@@ -557,6 +594,7 @@ func ImproveCtx(ctx context.Context, f *core.Flow, obj Objective, budget int, o 
 		if ctx.Err() != nil {
 			break
 		}
+		prog.Step(1)
 		stop, err := iterate()
 		if err != nil {
 			if ctx.Err() != nil {

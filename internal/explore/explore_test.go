@@ -8,6 +8,7 @@ import (
 	"repro/internal/rtl"
 	"repro/internal/soc"
 	"repro/internal/systems"
+	"repro/internal/trans"
 )
 
 // The flow is expensive (full ATPG); share one across the test binary and
@@ -457,5 +458,65 @@ func TestCacheSharedBetweenEnumerateAndImprove(t *testing.T) {
 	}
 	if len(cached.Steps) != len(plain.Steps) {
 		t.Errorf("cached walk took %d steps, uncached %d", len(cached.Steps), len(plain.Steps))
+	}
+}
+
+func TestEnumerateMaxPointsPrefix(t *testing.T) {
+	f := flow(t)
+	full, err := Enumerate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := EnumerateOpts(f, Options{MaxPoints: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped) != 5 {
+		t.Fatalf("MaxPoints=5 evaluated %d points", len(capped))
+	}
+	// The capped run evaluates the first 5 selections of the fixed
+	// generation order; sorted output must be a subset of the full space.
+	byLabel := map[string]Point{}
+	for _, p := range full {
+		byLabel[p.Label()] = p
+	}
+	for _, p := range capped {
+		fp, ok := byLabel[p.Label()]
+		if !ok {
+			t.Fatalf("capped point %s not in the full enumeration", p.Label())
+		}
+		if fp.TAT != p.TAT || fp.ChipCells != p.ChipCells {
+			t.Fatalf("capped point %s diverged: %d/%d vs %d/%d",
+				p.Label(), p.TAT, p.ChipCells, fp.TAT, fp.ChipCells)
+		}
+	}
+	// A cap above the product changes nothing.
+	uncapped, err := EnumerateOpts(f, Options{MaxPoints: len(full) + 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uncapped) != len(full) {
+		t.Fatalf("over-cap run evaluated %d points, want %d", len(uncapped), len(full))
+	}
+}
+
+func TestSelectionCountOverflowSafe(t *testing.T) {
+	// 64 cores x 4 versions each = 2^128 combinations: the capped count
+	// must return the cap instead of overflowing.
+	mk := func(n int) []*soc.Core {
+		cores := make([]*soc.Core, n)
+		for i := range cores {
+			cores[i] = &soc.Core{Versions: make([]*trans.Version, 4)}
+		}
+		return cores
+	}
+	if got := selectionCount(mk(64), 1000); got != 1000 {
+		t.Fatalf("capped count = %d, want 1000", got)
+	}
+	if got := selectionCount(mk(3), 0); got != 64 {
+		t.Fatalf("uncapped count = %d, want 64", got)
+	}
+	if got := selectionCount(nil, 10); got != 1 {
+		t.Fatalf("no-core count = %d, want 1", got)
 	}
 }

@@ -128,6 +128,26 @@ func (m *Metrics) Snapshot() map[string]int64 {
 	return out
 }
 
+// TypedSnapshot returns the counter and gauge values separately (the
+// combined Snapshot loses the kind, which the Prometheus exposition
+// needs). Nil registry returns nils.
+func (m *Metrics) TypedSnapshot() (counters, gauges map[string]int64) {
+	if m == nil {
+		return nil, nil
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	counters = make(map[string]int64, len(m.counters))
+	for name, c := range m.counters {
+		counters[name] = c.Value()
+	}
+	gauges = make(map[string]int64, len(m.gauges))
+	for name, g := range m.gauges {
+		gauges[name] = g.Value()
+	}
+	return counters, gauges
+}
+
 // WriteJSON writes the snapshot as a sorted, indented JSON object.
 func (m *Metrics) WriteJSON(w io.Writer) error {
 	snap := m.Snapshot()

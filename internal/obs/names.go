@@ -1,0 +1,74 @@
+package obs
+
+// The canonical metric registry: every counter and gauge name the flow is
+// allowed to touch. Metrics is create-on-first-use, so a typo'd name
+// ("explore.cache_hit" next to "explore.cache_hits") silently splits a
+// metric instead of failing — this list plus the end-to-end registry test
+// at the repo root (TestMetricNamesRegistered) is what catches that.
+//
+// Adding a metric is a two-line change: the obs.C/obs.G call site and an
+// entry here, with the comment saying what one unit of it means.
+
+// KnownCounters lists every monotonic counter name.
+var KnownCounters = []string{
+	"atpg.aborted_faults",              // PODEM gave up on a fault (backtrack limit)
+	"atpg.backtracks",                  // PODEM decision reversals
+	"atpg.detected",                    // faults detected by generated or simulated vectors
+	"atpg.faults",                      // faults targeted by ATPG
+	"atpg.implications",                // PODEM implication steps
+	"atpg.untestable",                  // faults proven untestable
+	"atpg.vectors",                     // test vectors kept after generation
+	"ccg.builds",                       // core connectivity graphs constructed
+	"ccg.relaxations",                  // Dijkstra edge relaxations
+	"ccg.reservation_conflicts",        // path searches that hit a reserved edge slot
+	"ccg.searches",                     // shortest-path searches
+	"chipsim.cycles",                   // chip-level RTL simulation cycles stepped
+	"core.baseline_muxes_preinstalled", // degraded flow: baseline muxes re-applied
+	"core.degraded_evaluations",        // EvaluateDegraded runs
+	"core.degraded_fallbacks",          // degraded flow: greedy version fallbacks taken
+	"core.evaluations",                 // full chip evaluations (Evaluate/EvaluateSelection)
+	"core.forced_muxes",                // system-level test muxes force-installed
+	"explore.cache_hits",               // evaluation cache hits
+	"explore.cache_misses",             // evaluation cache misses
+	"explore.cancelled",                // explorations ended by context cancellation
+	"explore.eval_panics",              // evaluations recovered from panic
+	"explore.iterations",               // improvement-walk iterations
+	"explore.moves_accepted",           // improvement moves applied
+	"explore.moves_proposed",           // candidate replacement steps generated
+	"explore.moves_rejected",           // improvement moves tried and taken back
+	"explore.points_evaluated",         // design points evaluated by Enumerate
+	"obshttp.progress_streams",         // SSE /progress subscriptions accepted
+	"obshttp.requests",                 // observability endpoint requests served
+	"obshttp.servers_started",          // obshttp servers bound
+	"proptest.paths_replayed",          // scheduled paths replayed cycle-accurately
+	"resil.faults_injected",            // faults applied to cloned chips
+	"resil.run_errors",                 // campaign runs that ended in a flow error
+	"resil.runs",                       // campaign runs executed
+	"rtlsim.cycles",                    // core-level RTL simulation cycles stepped
+	"sched.cores_scheduled",            // cores given a complete test schedule
+	"sched.cores_skipped",              // cores dropped by partial scheduling
+	"sched.ports_unreachable",          // ports with no justification/propagation path
+	"sched.test_muxes_added",           // test muxes inserted by the scheduler
+	"trans.versions_built",             // transparency versions constructed
+}
+
+// KnownGauges lists every last-value gauge name.
+var KnownGauges = []string{
+	"ccg.edges",                // CCG edge count of the last build
+	"ccg.nodes",                // CCG node count of the last build
+	"explore.parallel_workers", // worker-pool width of the last enumeration
+}
+
+var knownSet = func() map[string]bool {
+	m := make(map[string]bool, len(KnownCounters)+len(KnownGauges))
+	for _, n := range KnownCounters {
+		m[n] = true
+	}
+	for _, n := range KnownGauges {
+		m[n] = true
+	}
+	return m
+}()
+
+// Known reports whether name is in the canonical metric registry.
+func Known(name string) bool { return knownSet[name] }

@@ -7,13 +7,18 @@
 package obscli
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/obshttp"
+	"repro/internal/obs/progress"
 )
 
 // Config holds the parsed observability flag values.
@@ -23,6 +28,12 @@ type Config struct {
 	CPUProfile string
 	MemProfile string
 	TraceCap   int
+	ObsListen  string
+	Progress   bool
+
+	// StatusWriter receives the served-endpoint notice and -progress
+	// one-liners; nil means os.Stderr. Tests redirect it.
+	StatusWriter io.Writer
 }
 
 // AddFlags registers the shared observability flags on fs (usually
@@ -34,7 +45,15 @@ func AddFlags(fs *flag.FlagSet) *Config {
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to `file`")
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile to `file`")
 	fs.IntVar(&c.TraceCap, "trace-cap", 0, "span ring-buffer capacity (0 = default)")
+	fs.StringVar(&c.ObsListen, "obs-listen", "", "serve live observability (/metrics, /progress, /trace, pprof) on `addr` (e.g. :8080 or :0)")
 	return c
+}
+
+// AddProgressFlag additionally registers -progress, which streams
+// one-line status updates to stderr while the flow runs. Only the
+// long-running tools (tradeoff, compare) register it.
+func (c *Config) AddProgressFlag(fs *flag.FlagSet) {
+	fs.BoolVar(&c.Progress, "progress", false, "print a periodic one-line progress status to stderr")
 }
 
 // Session is a started observability capture; Close flushes every output
@@ -44,16 +63,42 @@ type Session struct {
 	memFile     *os.File
 	traceFile   *os.File
 	metricsFile *os.File
+	server      *obshttp.Server
+	stopReport  func()
 }
 
-// Start enables the obs layer (when -trace or -metrics asked for output)
-// and begins CPU profiling (when -cpuprofile did). Every output file is
-// created here, up front, so a bad path fails before the flow runs
-// instead of silently losing the capture at exit.
+// status returns the stream for human-facing notices.
+func (c *Config) status() io.Writer {
+	if c.StatusWriter != nil {
+		return c.StatusWriter
+	}
+	return os.Stderr
+}
+
+// Start enables the obs layer (when -trace, -metrics or -obs-listen asked
+// for output) and begins CPU profiling (when -cpuprofile did). Every
+// output file is created here, up front, so a bad path fails before the
+// flow runs instead of silently losing the capture at exit. With
+// -obs-listen the HTTP server binds here too (same fail-early rule) and
+// its URL is printed to stderr, so -obs-listen :0 is usable.
 func (c *Config) Start() (*Session, error) {
 	s := &Session{}
-	if c.Trace != "" || c.Metrics != "" {
+	if c.Trace != "" || c.Metrics != "" || c.ObsListen != "" {
 		obs.Enable(c.TraceCap)
+	}
+	if c.ObsListen != "" || c.Progress {
+		progress.Enable(0)
+	}
+	if c.ObsListen != "" {
+		srv, err := obshttp.Serve(context.Background(), c.ObsListen, obshttp.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("obscli: %w", err)
+		}
+		s.server = srv
+		fmt.Fprintf(c.status(), "obs: serving on %s\n", srv.URL())
+	}
+	if c.Progress {
+		s.stopReport = startReporter(progress.B(), c.status(), time.Second)
 	}
 	open := func(dst **os.File, path string) error {
 		if path == "" {
@@ -88,9 +133,12 @@ func (c *Config) Start() (*Session, error) {
 	return s, nil
 }
 
-// Close stops CPU profiling and writes the heap profile, span trace, and
-// metrics snapshot to their pre-opened files. It returns the first error
-// but attempts every output.
+// Close stops the progress reporter and the obs HTTP server, stops CPU
+// profiling, and writes the heap profile, span trace, and metrics
+// snapshot to their pre-opened files. It returns the first error but
+// attempts every output. The server shuts down before the metrics file
+// is written, so a final /metrics scrape and the -metrics file see the
+// same registry.
 func (s *Session) Close() error {
 	if s == nil {
 		return nil
@@ -100,6 +148,14 @@ func (s *Session) Close() error {
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
+	}
+	if s.stopReport != nil {
+		s.stopReport()
+		s.stopReport = nil
+	}
+	if s.server != nil {
+		keep(s.server.Close())
+		s.server = nil
 	}
 	if s.cpuFile != nil {
 		pprof.StopCPUProfile()
@@ -143,4 +199,48 @@ func writeTo(f *os.File, fill func(*os.File) error) error {
 		return fmt.Errorf("obscli: write %s: %w", f.Name(), err)
 	}
 	return nil
+}
+
+// startReporter subscribes to bus and prints each source's snapshots to w
+// as one-line status updates, at most one line per source per minInterval
+// (final snapshots always print, so every task's last state is visible).
+// The returned stop function unsubscribes and waits for the printer
+// goroutine to drain.
+func startReporter(bus *progress.Bus, w io.Writer, minInterval time.Duration) func() {
+	ch, cancel := bus.Subscribe(64)
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		lastPrint := map[string]time.Time{}
+		for {
+			select {
+			case snap := <-ch:
+				now := time.Now()
+				if !snap.Final && now.Sub(lastPrint[snap.Source]) < minInterval {
+					continue
+				}
+				lastPrint[snap.Source] = now
+				fmt.Fprintf(w, "progress: %s\n", snap.String())
+			case <-quit:
+				// Drain what is already buffered so a final snapshot
+				// published just before shutdown still prints.
+				for {
+					select {
+					case snap := <-ch:
+						if snap.Final {
+							fmt.Fprintf(w, "progress: %s\n", snap.String())
+						}
+					default:
+						return
+					}
+				}
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		close(quit)
+		<-done
+	}
 }

@@ -1,14 +1,19 @@
 package obscli
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/obs/progress"
 )
 
 func TestSessionWritesTraceAndMetrics(t *testing.T) {
@@ -122,4 +127,119 @@ func TestSessionCPUAndMemProfiles(t *testing.T) {
 			t.Errorf("profile %s is empty", p)
 		}
 	}
+}
+
+func TestSessionObsListenServesAndShutsDown(t *testing.T) {
+	defer obs.Disable()
+	defer progress.Disable()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cfg := AddFlags(fs)
+	var status bytes.Buffer
+	cfg.StatusWriter = &status
+	if err := fs.Parse([]string{"-obs-listen", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := cfg.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obs.Enabled() {
+		t.Fatal("-obs-listen must enable obs")
+	}
+	if !progress.Enabled() {
+		t.Fatal("-obs-listen must enable the progress bus")
+	}
+	// The bound URL is announced on the status stream so :0 is usable.
+	line := status.String()
+	if !strings.HasPrefix(line, "obs: serving on http://127.0.0.1:") {
+		t.Fatalf("status notice %q", line)
+	}
+	url := strings.TrimSpace(strings.TrimPrefix(line, "obs: serving on "))
+
+	obs.C("unit.count").Add(7)
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"unit.count": 7`) {
+		t.Fatalf("GET /metrics: %d %s", resp.StatusCode, body)
+	}
+
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(url + "/metrics"); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+}
+
+func TestSessionObsListenBadAddrFailsAtStart(t *testing.T) {
+	defer obs.Disable()
+	defer progress.Disable()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cfg := AddFlags(fs)
+	cfg.StatusWriter = io.Discard
+	if err := fs.Parse([]string{"-obs-listen", "256.256.256.256:99999"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cfg.Start(); err == nil {
+		t.Fatal("unbindable -obs-listen address must fail at Start")
+	}
+}
+
+func TestProgressReporterPrintsAndStops(t *testing.T) {
+	defer obs.Disable()
+	defer progress.Disable()
+	progress.Enable(-1) // publish every Step
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cfg := AddFlags(fs)
+	cfg.AddProgressFlag(fs)
+	var status syncBuffer
+	cfg.StatusWriter = &status
+	if err := fs.Parse([]string{"-progress"}); err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Progress {
+		t.Fatal("-progress flag not parsed")
+	}
+	sess, err := cfg.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := progress.Start("test/reporter", 4)
+	task.Step(2)
+	task.Step(2)
+	task.End()
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := status.String()
+	if !strings.Contains(out, "progress: test/reporter") {
+		t.Fatalf("reporter output missing status lines:\n%s", out)
+	}
+	// The final snapshot must survive the shutdown drain.
+	if !strings.Contains(out, "4/4") {
+		t.Fatalf("reporter output missing final snapshot:\n%s", out)
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the reporter goroutine
+// writes while the test reads.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
 }

@@ -1,0 +1,305 @@
+// Package obshttp serves the live view of the obs observability layer
+// over HTTP — the direct stepping stone to the socetd daemon. An opt-in
+// server (the -obs-listen flag via obscli) exposes:
+//
+//	/metrics     counter/gauge snapshot; JSON bit-identical to the
+//	             -metrics file, or Prometheus text with ?format=prometheus
+//	/progress    Server-Sent Events stream of progress.Snapshot JSON
+//	/trace       NDJSON dump of the retained span ring
+//	/debug/pprof the standard net/http/pprof handlers
+//	/            a plain-text index of the above
+//
+// The server binds eagerly (so ":0" callers learn the real port), serves
+// until its context is cancelled or Shutdown is called, and shuts down
+// gracefully: streaming handlers are told to finish, then the listener
+// closes. Everything is read-only; the server never mutates flow state.
+package obshttp
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/progress"
+)
+
+// shutdownGrace bounds how long Close waits for in-flight handlers after
+// streaming handlers have been told to stop.
+const shutdownGrace = 2 * time.Second
+
+// Options selects the observability sources the server reads. Zero-value
+// fields fall back to the process-global installations at request time,
+// so a server started before obs.Enable still sees the data.
+type Options struct {
+	Metrics *obs.Metrics
+	Tracer  *obs.Tracer
+	Bus     *progress.Bus
+}
+
+func (o Options) metrics() *obs.Metrics {
+	if o.Metrics != nil {
+		return o.Metrics
+	}
+	return obs.M()
+}
+
+func (o Options) tracer() *obs.Tracer {
+	if o.Tracer != nil {
+		return o.Tracer
+	}
+	return obs.T()
+}
+
+func (o Options) bus() *progress.Bus {
+	if o.Bus != nil {
+		return o.Bus
+	}
+	return progress.B()
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	opt  Options
+	ln   net.Listener
+	srv  *http.Server
+	stop chan struct{} // closed first on shutdown: streams drain and return
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{} // closed when Serve returns
+}
+
+// Serve binds addr (host:port; ":0" picks a free port) and serves the
+// observability endpoints until ctx is cancelled or Close is called.
+// Binding happens before Serve returns, so a bad address fails here.
+func Serve(ctx context.Context, addr string, opt Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obshttp: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		opt:  opt,
+		ln:   ln,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		defer close(s.done)
+		err := s.srv.Serve(ln)
+		_ = err // http.ErrServerClosed on shutdown; the listener owns real errors
+	}()
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				s.Close()
+			case <-s.done:
+			}
+		}()
+	}
+	obs.C("obshttp.servers_started").Inc()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the http base URL of the server.
+func (s *Server) URL() string {
+	host, port, err := net.SplitHostPort(s.ln.Addr().String())
+	if err != nil {
+		return "http://" + s.ln.Addr().String()
+	}
+	if ip := net.ParseIP(host); ip != nil && ip.IsUnspecified() {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
+
+// Close shuts the server down gracefully: streaming handlers are released
+// first, then in-flight requests get shutdownGrace to finish before the
+// listener is torn down. Idempotent; nil-safe.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return nil
+	}
+	s.closed = true
+	close(s.stop)
+	s.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		err = s.srv.Close()
+	}
+	<-s.done
+	return err
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "socet observability endpoint\n\n"+
+		"  /metrics                    counters and gauges as JSON\n"+
+		"  /metrics?format=prometheus  Prometheus text exposition\n"+
+		"  /progress                   SSE stream of progress snapshots\n"+
+		"  /trace                      span ring as NDJSON\n"+
+		"  /debug/pprof/               runtime profiles\n")
+}
+
+// handleMetrics writes the registry snapshot: by default the exact bytes
+// the -metrics file gets at exit (obs.Metrics.WriteJSON), so the live and
+// at-exit views never disagree; with ?format=prometheus the text
+// exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	obs.C("obshttp.requests").Inc()
+	m := s.opt.metrics()
+	if m == nil {
+		http.Error(w, "observability disabled: no metrics registry installed", http.StatusServiceUnavailable)
+		return
+	}
+	if f := r.URL.Query().Get("format"); f == "prometheus" || f == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeProm(w, m)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	m.WriteJSON(w)
+}
+
+// writeProm renders the registry in the Prometheus text exposition
+// format: dots become underscores, counters get the _total suffix the
+// convention asks for, and names come out sorted so the output is stable.
+func writeProm(w http.ResponseWriter, m *obs.Metrics) {
+	counters, gauges := m.TypedSnapshot()
+	type row struct {
+		name string
+		kind string
+		val  int64
+	}
+	rows := make([]row, 0, len(counters)+len(gauges))
+	for name, v := range counters {
+		rows = append(rows, row{promName(name) + "_total", "counter", v})
+	}
+	for name, v := range gauges {
+		rows = append(rows, row{promName(name), "gauge", v})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	for _, r := range rows {
+		fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", r.name, r.kind, r.name, r.val)
+	}
+}
+
+// promName maps an obs metric name onto the Prometheus grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*, prefixed with the socet namespace.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("socet_")
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// handleProgress streams progress snapshots as Server-Sent Events: the
+// latest snapshot immediately (so a late subscriber sees state at once),
+// then every published snapshot until the client hangs up or the server
+// shuts down. Each event is one JSON-encoded progress.Snapshot.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	obs.C("obshttp.requests").Inc()
+	bus := s.opt.bus()
+	if bus == nil {
+		http.Error(w, "observability disabled: no progress bus installed", http.StatusServiceUnavailable)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	obs.C("obshttp.progress_streams").Inc()
+
+	send := func(snap progress.Snapshot) bool {
+		raw, err := json.Marshal(snap)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", raw); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	ch, cancel := bus.Subscribe(64)
+	defer cancel()
+	if snap, ok := bus.Latest(); ok {
+		if !send(snap) {
+			return
+		}
+	}
+	for {
+		select {
+		case snap := <-ch:
+			if !send(snap) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// handleTrace dumps the retained span ring as NDJSON — the same bytes the
+// -trace file would hold if the run ended now.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	obs.C("obshttp.requests").Inc()
+	t := s.opt.tracer()
+	if t == nil {
+		http.Error(w, "observability disabled: no tracer installed", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	t.WriteNDJSON(w)
+}

@@ -1,0 +1,327 @@
+package obshttp
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/obs"
+	"repro/internal/obs/progress"
+	"repro/internal/socgen"
+)
+
+// serve starts a test server on a loopback port and registers cleanup.
+func serve(t *testing.T, opt Options) *Server {
+	t.Helper()
+	s, err := Serve(context.Background(), "127.0.0.1:0", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsJSONMatchesWriteJSON(t *testing.T) {
+	m := obs.NewMetrics()
+	m.Counter("atpg.backtracks").Add(29489)
+	m.Counter("explore.cache_hits").Add(12)
+	m.Gauge("ccg.nodes").Set(17)
+	s := serve(t, Options{Metrics: m})
+	code, body := get(t, s.URL()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", code)
+	}
+	var want bytes.Buffer
+	if err := m.WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	if body != want.String() {
+		t.Fatalf("/metrics response differs from WriteJSON:\n got: %q\nwant: %q", body, want.String())
+	}
+}
+
+func TestMetricsPrometheusGolden(t *testing.T) {
+	m := obs.NewMetrics()
+	m.Counter("explore.cache_hits").Add(3)
+	m.Counter("atpg.backtracks").Add(100)
+	m.Gauge("ccg.nodes").Set(17)
+	s := serve(t, Options{Metrics: m})
+	code, body := get(t, s.URL()+"/metrics?format=prometheus")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics?format=prometheus: %d", code)
+	}
+	want := `# TYPE socet_atpg_backtracks_total counter
+socet_atpg_backtracks_total 100
+# TYPE socet_ccg_nodes gauge
+socet_ccg_nodes 17
+# TYPE socet_explore_cache_hits_total counter
+socet_explore_cache_hits_total 3
+`
+	if body != want {
+		t.Fatalf("prometheus exposition mismatch:\n got:\n%s\nwant:\n%s", body, want)
+	}
+}
+
+func TestTraceNDJSON(t *testing.T) {
+	tr := obs.NewTracer(0)
+	tr.Start("evaluate").End()
+	tr.Start("ccg/build").End()
+	s := serve(t, Options{Tracer: tr})
+	code, body := get(t, s.URL()+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("GET /trace: %d", code)
+	}
+	var want bytes.Buffer
+	if err := tr.WriteNDJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	if body != want.String() {
+		t.Fatalf("/trace differs from WriteNDJSON:\n got: %q\nwant: %q", body, want.String())
+	}
+	if !strings.Contains(body, `"name":"ccg/build"`) {
+		t.Fatalf("trace missing span: %q", body)
+	}
+}
+
+func TestDisabledSourcesReturn503(t *testing.T) {
+	obs.Disable()
+	progress.Disable()
+	s := serve(t, Options{})
+	for _, path := range []string{"/metrics", "/trace", "/progress"} {
+		code, _ := get(t, s.URL()+path)
+		if code != http.StatusServiceUnavailable {
+			t.Errorf("GET %s with obs disabled: %d, want 503", path, code)
+		}
+	}
+}
+
+func TestIndexAndPprof(t *testing.T) {
+	s := serve(t, Options{})
+	code, body := get(t, s.URL()+"/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: %d %q", code, body)
+	}
+	code, _ = get(t, s.URL()+"/nope")
+	if code != http.StatusNotFound {
+		t.Fatalf("GET /nope: %d, want 404", code)
+	}
+	code, body = get(t, s.URL()+"/debug/pprof/heap?debug=1")
+	if code != http.StatusOK || !strings.Contains(body, "heap profile") {
+		t.Fatalf("pprof heap: %d", code)
+	}
+}
+
+// sseEvents reads up to n SSE data events from the stream, decoding each
+// as a progress snapshot.
+func sseEvents(t *testing.T, body *bufio.Reader, n int) []progress.Snapshot {
+	t.Helper()
+	var out []progress.Snapshot
+	for len(out) < n {
+		line, err := body.ReadString('\n')
+		if err != nil {
+			t.Fatalf("SSE stream ended after %d events: %v", len(out), err)
+		}
+		line = strings.TrimRight(line, "\n")
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var s progress.Snapshot
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &s); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// TestProgressSSEDuringCancelledEnumerate is the live-observability
+// acceptance path: an Enumerate over a generated chip streams snapshots
+// to an SSE subscriber, the subscriber sees at least two monotonically
+// increasing points-evaluated reports, and cancelling the enumeration
+// ends the run with a partial result.
+func TestProgressSSEDuringCancelledEnumerate(t *testing.T) {
+	obs.Enable(0)
+	t.Cleanup(obs.Disable)
+	progress.Enable(-1) // publish every Step
+	t.Cleanup(progress.Disable)
+
+	// 24 cores make the selection ladder astronomically larger than
+	// MaxPoints, so the capped run cannot finish before cancel() lands.
+	ch, err := socgen.Generate(socgen.Params{Seed: 11, Cores: 24, Topology: socgen.RandomDAG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := map[string]int{}
+	for i, c := range ch.TestableCores() {
+		vecs[c.Name] = 5 + i%7
+	}
+	f, err := core.Prepare(ch, &core.Options{VectorOverride: vecs})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := serve(t, Options{})
+	resp, err := http.Get(s.URL() + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type result struct {
+		points []explore.Point
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		pts, err := explore.EnumerateCtx(ctx, f, explore.Options{Workers: 2, MaxPoints: 100000})
+		done <- result{pts, err}
+	}()
+
+	events := sseEvents(t, bufio.NewReader(resp.Body), 3)
+	cancel()
+	res := <-done
+
+	var last int64 = -1
+	seen := 0
+	for _, e := range events {
+		if e.Source != "explore/enumerate" {
+			continue
+		}
+		seen++
+		if e.Done < last {
+			t.Fatalf("points evaluated went backwards: %d then %d", last, e.Done)
+		}
+		last = e.Done
+	}
+	if seen < 2 {
+		t.Fatalf("received %d enumerate snapshots, want >= 2", seen)
+	}
+	if res.err == nil {
+		t.Fatal("enumeration was not cancelled (it finished 100k points?)")
+	}
+	if len(res.points) == 0 {
+		t.Fatal("cancelled enumeration returned no partial points")
+	}
+}
+
+// TestShutdownGoroutineLeakFree opens an SSE stream, shuts the server
+// down, and asserts every server goroutine (including the blocked stream
+// handler) exits.
+func TestShutdownGoroutineLeakFree(t *testing.T) {
+	obs.Enable(0)
+	t.Cleanup(obs.Disable)
+	progress.Enable(-1)
+	t.Cleanup(progress.Disable)
+	http.DefaultClient.CloseIdleConnections()
+	before := runtime.NumGoroutine()
+
+	s, err := Serve(context.Background(), "127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(s.URL() + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	progress.Start("test/op", 1).Step(1) // something to stream
+
+	if err := s.Close(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatalf("second shutdown: %v", err)
+	}
+	// The stream handler and the serve loop must both be gone; allow the
+	// runtime a moment to reap them. The client's own keep-alive
+	// goroutines are not the server's — drop them before counting.
+	resp.Body.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		http.DefaultClient.CloseIdleConnections()
+		if n := runtime.NumGoroutine(); n <= before+1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked after shutdown: %d -> %d\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestContextCancelShutsDown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := Serve(ctx, "127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	select {
+	case <-s.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server still up 5s after context cancel")
+	}
+	if _, err := http.Get(s.URL() + "/"); err == nil {
+		t.Fatal("server still accepting connections after context cancel")
+	}
+}
+
+func TestBadAddressFailsEagerly(t *testing.T) {
+	if _, err := Serve(context.Background(), "256.0.0.1:99999", Options{}); err == nil {
+		t.Fatal("bad listen address did not fail")
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	for in, want := range map[string]string{
+		"explore.cache_hits": "socet_explore_cache_hits",
+		"ccg.nodes":          "socet_ccg_nodes",
+		"weird-name.2x":      "socet_weird_name_2x",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestURLRewritesUnspecifiedHost(t *testing.T) {
+	s := serve(t, Options{})
+	if u := s.URL(); !strings.HasPrefix(u, "http://127.0.0.1:") {
+		t.Fatalf("URL() = %q", u)
+	}
+	if s.Addr() == "" {
+		t.Fatal("empty Addr")
+	}
+	_ = fmt.Sprintf("%s", s.Addr())
+}

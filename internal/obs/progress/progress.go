@@ -1,0 +1,273 @@
+// Package progress is the live-progress half of the observability layer:
+// long-running operations (design-space enumeration, improvement walks,
+// fault campaigns, differential replays) publish periodic Snapshots of how
+// far along they are to a process-global Bus, and consumers — the
+// -progress stderr reporter, the obshttp /progress SSE stream, the future
+// socetd daemon — subscribe without the publishers knowing they exist.
+//
+// The publish path is designed for hot loops: a disabled bus (the default)
+// makes every Task operation a nil check, and an enabled bus costs one
+// atomic add per Step plus a throttled snapshot build. Publishing never
+// blocks: slow subscribers miss intermediate snapshots instead of stalling
+// the flow (each snapshot is self-contained, so dropping is safe).
+package progress
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// DefaultInterval is the minimum wall-time between published snapshots of
+// one Task when Enable is given a non-positive interval.
+const DefaultInterval = 100 * time.Millisecond
+
+// Snapshot is one point-in-time progress report. Done increases
+// monotonically over a Task's lifetime; Total is 0 when the amount of work
+// is unknown up front (e.g. an improvement walk). Extra carries the obs
+// metric values the publisher asked to be sampled alongside (cache
+// hit/miss counts, moves accepted, faults injected, ...).
+type Snapshot struct {
+	Source  string           `json:"source"`
+	Seq     uint64           `json:"seq"`
+	Done    int64            `json:"done"`
+	Total   int64            `json:"total,omitempty"`
+	Elapsed float64          `json:"elapsed_s"`
+	Rate    float64          `json:"rate_per_s"`
+	ETA     float64          `json:"eta_s,omitempty"`
+	Extra   map[string]int64 `json:"extra,omitempty"`
+	Final   bool             `json:"final,omitempty"`
+}
+
+// String renders the snapshot as the one-line status the -progress flag
+// prints: source, done/total with percentage (or a bare count when the
+// total is unknown), throughput, ETA and the sampled extras.
+func (s Snapshot) String() string {
+	out := s.Source + " "
+	if s.Total > 0 {
+		out += fmt.Sprintf("%d/%d (%.1f%%)", s.Done, s.Total, 100*float64(s.Done)/float64(s.Total))
+	} else {
+		out += fmt.Sprintf("%d done", s.Done)
+	}
+	out += fmt.Sprintf(" %.1f/s", s.Rate)
+	if s.ETA > 0 {
+		out += fmt.Sprintf(" eta %s", (time.Duration(s.ETA * float64(time.Second))).Round(time.Second))
+	}
+	if hits, ok := s.Extra["explore.cache_hits"]; ok {
+		if misses, ok2 := s.Extra["explore.cache_misses"]; ok2 && hits+misses > 0 {
+			out += fmt.Sprintf(" cache %.0f%% hit", 100*float64(hits)/float64(hits+misses))
+		}
+	}
+	if s.Final {
+		out += " done"
+	}
+	return out
+}
+
+// Bus fans published snapshots out to subscribers. The publish path is
+// lock-free: the subscriber set is a copy-on-write slice behind an atomic
+// pointer (Subscribe/Unsubscribe, which are rare, serialize on a mutex to
+// produce the new copy), the latest snapshot is an atomic pointer, and
+// channel sends are non-blocking.
+type Bus struct {
+	seq      atomic.Uint64
+	latest   atomic.Pointer[Snapshot]
+	subs     atomic.Pointer[[]chan Snapshot]
+	interval time.Duration
+
+	mu sync.Mutex // serializes subscriber-set rewrites only
+}
+
+// NewBus returns a bus throttling each Task to one snapshot per interval
+// (non-positive selects DefaultInterval, negative zero means every Step —
+// see Enable).
+func NewBus(interval time.Duration) *Bus {
+	if interval < 0 {
+		interval = 0
+	}
+	b := &Bus{interval: interval}
+	empty := []chan Snapshot{}
+	b.subs.Store(&empty)
+	return b
+}
+
+// Subscribe registers a buffered snapshot channel and returns it with its
+// cancel function. The bus never closes the channel before cancel is
+// called; cancel is idempotent and drains nothing (pending snapshots stay
+// readable until the channel is garbage).
+func (b *Bus) Subscribe(buf int) (<-chan Snapshot, func()) {
+	if b == nil {
+		ch := make(chan Snapshot)
+		close(ch)
+		return ch, func() {}
+	}
+	if buf < 1 {
+		buf = 16
+	}
+	ch := make(chan Snapshot, buf)
+	b.mu.Lock()
+	old := *b.subs.Load()
+	next := make([]chan Snapshot, 0, len(old)+1)
+	next = append(next, old...)
+	next = append(next, ch)
+	b.subs.Store(&next)
+	b.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			b.mu.Lock()
+			old := *b.subs.Load()
+			next := make([]chan Snapshot, 0, len(old))
+			for _, c := range old {
+				if c != ch {
+					next = append(next, c)
+				}
+			}
+			b.subs.Store(&next)
+			b.mu.Unlock()
+		})
+	}
+	return ch, cancel
+}
+
+// Latest returns the most recently published snapshot, if any.
+func (b *Bus) Latest() (Snapshot, bool) {
+	if b == nil {
+		return Snapshot{}, false
+	}
+	if s := b.latest.Load(); s != nil {
+		return *s, true
+	}
+	return Snapshot{}, false
+}
+
+// publish stamps the sequence number, stores the snapshot as latest, and
+// offers it to every subscriber without blocking.
+func (b *Bus) publish(s Snapshot) {
+	if b == nil {
+		return
+	}
+	s.Seq = b.seq.Add(1)
+	b.latest.Store(&s)
+	for _, ch := range *b.subs.Load() {
+		select {
+		case ch <- s:
+		default: // slow subscriber: drop, the next snapshot supersedes this one
+		}
+	}
+}
+
+var global atomic.Pointer[Bus]
+
+// Enable installs a fresh process-global bus and returns it. interval is
+// the per-Task minimum time between snapshots: 0 selects DefaultInterval,
+// negative publishes on every Step (tests want that).
+func Enable(interval time.Duration) *Bus {
+	if interval == 0 {
+		interval = DefaultInterval
+	}
+	b := NewBus(interval)
+	global.Store(b)
+	return b
+}
+
+// Disable removes the process-global bus; subsequent Task operations
+// become no-ops.
+func Disable() { global.Store(nil) }
+
+// B returns the installed bus, or nil when disabled.
+func B() *Bus { return global.Load() }
+
+// Enabled reports whether a process-global bus is installed.
+func Enabled() bool { return global.Load() != nil }
+
+// Task is one long-running operation publishing to a bus. A nil Task (the
+// disabled default) is a valid no-op, so instrumented loops hold the
+// handle unconditionally.
+type Task struct {
+	bus     *Bus
+	source  string
+	total   int64
+	extras  []string
+	start   time.Time
+	done    atomic.Int64
+	lastPub atomic.Int64 // nanoseconds since start of the last publish
+}
+
+// Start begins a task on the process-global bus: source names the
+// operation ("explore/enumerate"), total is the known amount of work (0
+// for unknown), and extras are obs metric names whose current values ride
+// along in every snapshot. Returns nil — a no-op task — when no bus is
+// installed.
+func Start(source string, total int64, extras ...string) *Task {
+	return StartOn(B(), source, total, extras...)
+}
+
+// StartOn is Start against an explicit bus (nil bus returns a nil task).
+func StartOn(b *Bus, source string, total int64, extras ...string) *Task {
+	if b == nil {
+		return nil
+	}
+	t := &Task{bus: b, source: source, total: total, extras: extras, start: time.Now()}
+	t.lastPub.Store(-int64(b.interval)) // first Step may publish immediately
+	return t
+}
+
+// Step records n completed work units and publishes a snapshot when the
+// bus's throttle interval has passed. Nil-safe; this is the hot-path call.
+func (t *Task) Step(n int64) {
+	if t == nil {
+		return
+	}
+	t.done.Add(n)
+	elapsed := time.Since(t.start)
+	last := t.lastPub.Load()
+	if elapsed.Nanoseconds()-last < t.bus.interval.Nanoseconds() {
+		return
+	}
+	if !t.lastPub.CompareAndSwap(last, elapsed.Nanoseconds()) {
+		return // another goroutine is publishing this tick
+	}
+	t.bus.publish(t.snapshot(elapsed, false))
+}
+
+// End publishes the final snapshot unconditionally. Nil-safe.
+func (t *Task) End() {
+	if t == nil {
+		return
+	}
+	t.bus.publish(t.snapshot(time.Since(t.start), true))
+}
+
+// snapshot assembles the current state: done count, throughput, ETA from
+// the remaining work, and the sampled extra metrics.
+func (t *Task) snapshot(elapsed time.Duration, final bool) Snapshot {
+	done := t.done.Load()
+	s := Snapshot{
+		Source:  t.source,
+		Done:    done,
+		Total:   t.total,
+		Elapsed: elapsed.Seconds(),
+		Final:   final,
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		s.Rate = float64(done) / sec
+	}
+	if t.total > 0 && done > 0 && done < t.total && s.Rate > 0 {
+		s.ETA = float64(t.total-done) / s.Rate
+	}
+	if len(t.extras) > 0 {
+		if snap := obs.M().Snapshot(); snap != nil {
+			s.Extra = make(map[string]int64, len(t.extras))
+			for _, name := range t.extras {
+				if v, ok := snap[name]; ok {
+					s.Extra[name] = v
+				}
+			}
+		}
+	}
+	return s
+}

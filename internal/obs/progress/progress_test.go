@@ -1,0 +1,226 @@
+package progress
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestDisabledTaskIsNoop(t *testing.T) {
+	Disable()
+	task := Start("test/op", 10)
+	if task != nil {
+		t.Fatalf("disabled Start returned %v, want nil", task)
+	}
+	task.Step(1) // must not panic
+	task.End()
+	if B() != nil {
+		t.Fatal("bus installed while disabled")
+	}
+}
+
+func TestPublishAndLatest(t *testing.T) {
+	b := Enable(-1) // publish on every Step
+	defer Disable()
+	task := Start("test/op", 4)
+	for i := 0; i < 4; i++ {
+		task.Step(1)
+	}
+	task.End()
+	last, ok := b.Latest()
+	if !ok {
+		t.Fatal("no latest snapshot after publishes")
+	}
+	if !last.Final || last.Done != 4 || last.Total != 4 || last.Source != "test/op" {
+		t.Fatalf("unexpected final snapshot %+v", last)
+	}
+	if last.Seq < 5 {
+		t.Fatalf("expected at least 5 published snapshots, seq=%d", last.Seq)
+	}
+}
+
+func TestSubscriberReceivesMonotonicSnapshots(t *testing.T) {
+	b := Enable(-1)
+	defer Disable()
+	ch, cancel := b.Subscribe(64)
+	defer cancel()
+	task := Start("test/op", 8)
+	for i := 0; i < 8; i++ {
+		task.Step(1)
+	}
+	task.End()
+	var got []Snapshot
+	for len(got) < 9 {
+		select {
+		case s := <-ch:
+			got = append(got, s)
+		case <-time.After(time.Second):
+			t.Fatalf("timed out after %d snapshots", len(got))
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Done < got[i-1].Done {
+			t.Fatalf("done went backwards: %d then %d", got[i-1].Done, got[i].Done)
+		}
+		if got[i].Seq <= got[i-1].Seq {
+			t.Fatalf("seq not increasing: %d then %d", got[i-1].Seq, got[i].Seq)
+		}
+	}
+	if !got[len(got)-1].Final {
+		t.Fatal("last received snapshot is not final")
+	}
+}
+
+func TestSlowSubscriberNeverBlocksPublisher(t *testing.T) {
+	b := Enable(-1)
+	defer Disable()
+	_, cancel := b.Subscribe(1) // capacity 1, never read
+	defer cancel()
+	task := Start("test/op", 0)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			task.Step(1)
+		}
+		task.End()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publisher blocked on a full subscriber channel")
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	b := Enable(-1)
+	defer Disable()
+	ch, cancel := b.Subscribe(4)
+	task := Start("test/op", 0)
+	task.Step(1)
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("no snapshot before unsubscribe")
+	}
+	cancel()
+	cancel() // idempotent
+	task.Step(1)
+	task.End()
+	select {
+	case s, ok := <-ch:
+		if ok {
+			t.Fatalf("received %+v after unsubscribe", s)
+		}
+	default:
+	}
+}
+
+func TestThrottleLimitsPublishRate(t *testing.T) {
+	b := Enable(time.Hour) // effectively: only the first Step and End publish
+	defer Disable()
+	ch, cancel := b.Subscribe(64)
+	defer cancel()
+	task := Start("test/op", 0)
+	for i := 0; i < 100; i++ {
+		task.Step(1)
+	}
+	task.End()
+	n := 0
+	for {
+		select {
+		case <-ch:
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n > 2 {
+		t.Fatalf("throttle let %d snapshots through, want <= 2", n)
+	}
+	if n == 0 {
+		t.Fatal("final snapshot not delivered")
+	}
+}
+
+func TestExtrasSampledFromObsMetrics(t *testing.T) {
+	obs.Enable(0)
+	defer obs.Disable()
+	Enable(-1)
+	defer Disable()
+	obs.C("test.hits").Add(7)
+	task := Start("test/op", 2, "test.hits", "test.absent")
+	task.Step(1)
+	task.End()
+	last, _ := B().Latest()
+	if last.Extra["test.hits"] != 7 {
+		t.Fatalf("extra not sampled: %+v", last.Extra)
+	}
+	if _, ok := last.Extra["test.absent"]; ok {
+		t.Fatal("absent metric appeared in extras")
+	}
+}
+
+func TestConcurrentStepsRaceFree(t *testing.T) {
+	b := Enable(-1)
+	defer Disable()
+	ch, cancel := b.Subscribe(8)
+	defer cancel()
+	task := Start("test/op", 64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				task.Step(1)
+			}
+		}()
+	}
+	wg.Wait()
+	task.End()
+	last, _ := b.Latest()
+	if last.Done != 64 {
+		t.Fatalf("lost steps: done=%d want 64", last.Done)
+	}
+	for {
+		select {
+		case <-ch:
+			continue
+		default:
+		}
+		break
+	}
+}
+
+func TestSnapshotJSONAndString(t *testing.T) {
+	s := Snapshot{
+		Source: "explore/enumerate", Done: 50, Total: 200,
+		Elapsed: 2, Rate: 25, ETA: 6,
+		Extra: map[string]int64{"explore.cache_hits": 30, "explore.cache_misses": 20},
+	}
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"source":"explore/enumerate"`, `"done":50`, `"total":200`, `"rate_per_s":25`} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("marshalled snapshot %s missing %s", raw, want)
+		}
+	}
+	line := s.String()
+	for _, want := range []string{"explore/enumerate", "50/200", "25.0%", "25.0/s", "eta 6s", "cache 60% hit"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("String() = %q missing %q", line, want)
+		}
+	}
+	unknown := Snapshot{Source: "walk", Done: 3, Rate: 1.5, Final: true}
+	if line := unknown.String(); !strings.Contains(line, "3 done") || !strings.Contains(line, " done") {
+		t.Fatalf("unknown-total String() = %q", line)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"repro/internal/ccg"
 	"repro/internal/chipsim"
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obs/progress"
 	"repro/internal/rtl"
 	"repro/internal/soc"
 	"repro/internal/trans"
@@ -25,12 +27,20 @@ import (
 // counts alone and checked against the analytic value.
 func ReplayEvaluation(ch *soc.Chip, e *core.Evaluation, sel map[string]int) (*Stats, error) {
 	st := &Stats{}
+	total := 0
+	for _, cs := range e.Sched.Cores {
+		total += len(cs.Inputs) + len(cs.Outputs)
+	}
+	prog := progress.Start("proptest/replay", int64(total), "proptest.paths_replayed")
+	defer prog.End()
+	cReplayed := obs.C("proptest.paths_replayed")
 	for _, cs := range e.Sched.Cores {
 		full := true
 		simPeriod, simObserve := 0, 0
 		run := func(ps portSched, input bool) error {
 			st.Paths++
 			res, err := replayPath(ch, e.Graph, sel, cs.Core, ps, input)
+			prog.Step(1)
 			if err != nil {
 				return fmt.Errorf("core %s %s path for %s: %w", cs.Core, pathKind(input), ps.Port, err)
 			}
@@ -39,11 +49,13 @@ func ReplayEvaluation(ch *soc.Chip, e *core.Evaluation, sel map[string]int) (*St
 					st.Virtual++
 				} else {
 					st.Replayed++
+					cReplayed.Inc()
 				}
 				full = false
 				return nil
 			}
 			st.Replayed++
+			cReplayed.Inc()
 			if input && res.cycles > simPeriod {
 				simPeriod = res.cycles
 			}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/progress"
 	"repro/internal/soc"
 )
 
@@ -32,6 +33,9 @@ type Campaign struct {
 func (c *Campaign) Execute(ctx context.Context) ([]Outcome, error) {
 	root := obs.Start(nil, "resil/campaign")
 	defer root.End()
+	prog := progress.Start("resil/campaign", int64(len(c.Runs)),
+		"resil.faults_injected", "resil.run_errors")
+	defer prog.End()
 	out := make([]Outcome, 0, len(c.Runs))
 	for i, faults := range c.Runs {
 		if err := ctx.Err(); err != nil {
@@ -53,6 +57,7 @@ func (c *Campaign) Execute(ctx context.Context) ([]Outcome, error) {
 			obs.C("resil.run_errors").Inc()
 		}
 		obs.C("resil.runs").Inc()
+		prog.Step(1)
 		out = append(out, o)
 	}
 	return out, nil

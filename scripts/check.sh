@@ -28,7 +28,7 @@ go test -fuzz=FuzzValidate -fuzztime=10s -run '^$' ./internal/rtl/
 echo "==> go test -fuzz=FuzzParseFaults (10s smoke)"
 go test -fuzz=FuzzParseFaults -fuzztime=10s -run '^$' ./internal/resil/
 
-echo "==> go test -bench=Enumerate (smoke)"
-go test -bench='Enumerate' -benchtime=1x -run '^$' ./internal/explore/
+echo "==> bench trajectory smoke (scripts/bench.sh -smoke)"
+sh scripts/bench.sh -smoke
 
 echo "==> ok"
