@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-snapshot check trace
+.PHONY: build test bench bench-delta bench-snapshot check trace
 
 build:
 	$(GO) build ./...
@@ -11,6 +11,11 @@ test:
 # Regenerate every table and figure of the paper next to its numbers.
 bench:
 	$(GO) test -bench=. -benchmem -v
+
+# Delta vs full evaluation head-to-head on the generated-chip ladder
+# (single-core-change candidates; see scripts/bench.sh -delta).
+bench-delta:
+	sh scripts/bench.sh -delta
 
 # Capture the next BENCH_<n>.json perf-trajectory snapshot and diff it
 # against the previous one (fails on regressions; see scripts/bench.sh).

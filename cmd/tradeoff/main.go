@@ -45,6 +45,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "generator seed (with -gen)")
 	cores := flag.Int("cores", 0, "generated logic core count, 0 = derived from the seed (with -gen)")
 	topology := flag.String("topology", "auto", "generated interconnect family: auto, chain, mesh, dag, hub (with -gen)")
+	delta := flag.Bool("delta", true, "evaluate single-core-change candidates incrementally; results are bit-identical, -delta=false forces full evaluations")
 	obsCfg := obscli.AddFlags(flag.CommandLine)
 	obsCfg.AddProgressFlag(flag.CommandLine)
 	flag.Parse()
@@ -68,7 +69,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	points, err := explore.EnumerateCtx(ctx, f, explore.Options{Workers: *jobs, MaxPoints: *maxPoints})
+	points, err := explore.EnumerateCtx(ctx, f, explore.Options{Workers: *jobs, MaxPoints: *maxPoints, FullEval: !*delta})
 	expired := errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
 	if err != nil && !expired {
 		log.Fatal(err)

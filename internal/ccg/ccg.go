@@ -8,7 +8,6 @@
 package ccg
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -79,6 +78,11 @@ type Graph struct {
 	Edges []*Edge
 	Out   [][]int
 	idx   map[string]int
+	// transRange records, per testable core, the half-open [lo, hi) edge
+	// ID range holding its transparency edges. BuildSelection emits each
+	// core's edges contiguously, which is what lets CloneWithVersion
+	// splice a single core's version swap without rebuilding the graph.
+	transRange map[string][2]int
 }
 
 // NodeIndex looks a node up by display name.
@@ -116,7 +120,7 @@ func BuildSelection(ch *soc.Chip, sel map[string]int) (*Graph, error) {
 	if err := ch.Validate(); err != nil {
 		return nil, err
 	}
-	g := &Graph{Chip: ch, idx: map[string]int{}}
+	g := &Graph{Chip: ch, idx: map[string]int{}, transRange: map[string][2]int{}}
 	add := func(n Node) int {
 		if i, ok := g.idx[n.Name()]; ok {
 			return i
@@ -170,47 +174,108 @@ func BuildSelection(ch *soc.Chip, sel map[string]int) (*Graph, error) {
 		}
 		addEdge(Edge{From: from, To: to, Kind: Wire})
 	}
-	// Transparency pairs of each selected version.
+	// Transparency pairs of each selected version, one contiguous edge ID
+	// range per core (recorded for incremental version splicing).
 	for _, c := range ch.TestableCores() {
-		v := versionFor(c, sel)
-		if v == nil {
-			continue
-		}
-		seen := map[[2]string]bool{}
-		for _, pairs := range [][]trans.Pair{v.JustPairs(), v.PropPairs()} {
-			for _, p := range pairs {
-				key := [2]string{p.In, p.Out}
-				if seen[key] {
-					continue
-				}
-				seen[key] = true
-				from, ok1 := g.idx[c.Name+"."+p.In]
-				to, ok2 := g.idx[c.Name+"."+p.Out]
-				if !ok1 || !ok2 {
-					continue
-				}
-				var res []ResKey
-				var eids []int
-				for eid := range p.Edges {
-					eids = append(eids, eid)
-				}
-				sort.Ints(eids)
-				for _, eid := range eids {
-					res = append(res, ResKey{Core: c.Name, Edge: eid})
-				}
-				lat := p.Latency
-				if lat < 1 {
-					lat = 1
-				}
-				addEdge(Edge{From: from, To: to, Kind: Trans, Latency: lat, Res: res})
-			}
-		}
+		lo := len(g.Edges)
+		appendCoreTrans(g, c, versionFor(c, sel), func(e Edge) { addEdge(e) })
+		g.transRange[c.Name] = [2]int{lo, len(g.Edges)}
 	}
 	g.rebuildOut()
 	obs.C("ccg.builds").Inc()
 	obs.G("ccg.nodes").Set(int64(len(g.Nodes)))
 	obs.G("ccg.edges").Set(int64(len(g.Edges)))
 	return g, nil
+}
+
+// appendCoreTrans emits the transparency edges of one core's version in
+// the canonical order (deduped justification pairs then propagation
+// pairs, RCG resource keys sorted). BuildSelection and CloneWithVersion
+// share it so a spliced graph is edge-for-edge identical to a fresh
+// build of the same selection.
+func appendCoreTrans(g *Graph, c *soc.Core, v *trans.Version, addEdge func(Edge)) {
+	if v == nil {
+		return
+	}
+	seen := map[[2]string]bool{}
+	for _, pairs := range [][]trans.Pair{v.JustPairs(), v.PropPairs()} {
+		for _, p := range pairs {
+			key := [2]string{p.In, p.Out}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			from, ok1 := g.idx[c.Name+"."+p.In]
+			to, ok2 := g.idx[c.Name+"."+p.Out]
+			if !ok1 || !ok2 {
+				continue
+			}
+			var res []ResKey
+			var eids []int
+			for eid := range p.Edges {
+				eids = append(eids, eid)
+			}
+			sort.Ints(eids)
+			for _, eid := range eids {
+				res = append(res, ResKey{Core: c.Name, Edge: eid})
+			}
+			lat := p.Latency
+			if lat < 1 {
+				lat = 1
+			}
+			addEdge(Edge{From: from, To: to, Kind: Trans, Latency: lat, Res: res})
+		}
+	}
+}
+
+// CloneWithVersion returns a new graph equal — node for node, edge for
+// edge, ID for ID — to what BuildSelection (plus the caller's first
+// pristine-edge replays) would produce with core c's transparency version
+// replaced by v. Only the first pristine edges of the receiver are
+// cloned: edges appended later (test muxes inserted by a scheduler run)
+// belong to a particular schedule, not to the selection, and the delta
+// evaluator replays them separately. Nodes and the name index are shared
+// with the receiver (they are immutable after build and independent of
+// the version selection); edges before the spliced core's range are
+// shared too, edges after it are copied with shifted IDs.
+func (g *Graph) CloneWithVersion(pristine int, c *soc.Core, v *trans.Version) *Graph {
+	r, ok := g.transRange[c.Name]
+	if !ok || pristine < r[1] || pristine > len(g.Edges) {
+		return nil
+	}
+	lo, hi := r[0], r[1]
+	ng := &Graph{
+		Chip:       g.Chip,
+		Nodes:      g.Nodes,
+		idx:        g.idx,
+		transRange: make(map[string][2]int, len(g.transRange)),
+	}
+	ng.Edges = append(make([]*Edge, 0, pristine+8), g.Edges[:lo]...)
+	appendCoreTrans(ng, c, v, func(e Edge) {
+		e.ID = len(ng.Edges)
+		ep := e
+		ng.Edges = append(ng.Edges, &ep)
+	})
+	newHi := len(ng.Edges)
+	for _, e := range g.Edges[hi:pristine] {
+		ce := *e
+		ce.ID = len(ng.Edges)
+		ng.Edges = append(ng.Edges, &ce)
+	}
+	shift := newHi - hi
+	for name, rr := range g.transRange {
+		switch {
+		case name == c.Name:
+			ng.transRange[name] = [2]int{lo, newHi}
+		case rr[0] >= hi:
+			ng.transRange[name] = [2]int{rr[0] + shift, rr[1] + shift}
+		default:
+			ng.transRange[name] = rr
+		}
+	}
+	ng.rebuildOut()
+	obs.C("ccg.clones").Inc()
+	return ng
 }
 
 func (g *Graph) rebuildOut() {
@@ -311,10 +376,20 @@ type pqItem struct {
 	time int
 }
 
+// pq orders heap entries by (arrival time, node index). The node
+// tie-break matters: it makes the settle order of equal-arrival nodes a
+// pure function of their distances rather than of heap layout, which is
+// what keeps search results over unmutated graph regions bit-identical
+// across an incremental version splice (see Finder).
 type pq []pqItem
 
-func (p pq) Len() int            { return len(p) }
-func (p pq) Less(i, j int) bool  { return p[i].time < p[j].time }
+func (p pq) Len() int { return len(p) }
+func (p pq) Less(i, j int) bool {
+	if p[i].time != p[j].time {
+		return p[i].time < p[j].time
+	}
+	return p[i].node < p[j].node
+}
 func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
 func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
 func (p *pq) Pop() interface{} {
@@ -323,66 +398,6 @@ func (p *pq) Pop() interface{} {
 	it := old[n-1]
 	*p = old[:n-1]
 	return it
-}
-
-// ShortestPath finds the earliest-arrival path from any node in sources
-// (available from cycle 0) to target, honoring reservations: a reserved
-// edge can only be entered once its busy windows have passed (the paper's
-// modified Dijkstra of Section 5.1). It returns nil when no path exists.
-func (g *Graph) ShortestPath(sources []int, target int, resv Reservations) *PathResult {
-	const inf = int(^uint(0) >> 1)
-	dist := make([]int, len(g.Nodes))
-	predEdge := make([]int, len(g.Nodes))
-	predStart := make([]int, len(g.Nodes))
-	for i := range dist {
-		dist[i] = inf
-		predEdge[i] = -1
-	}
-	h := &pq{}
-	for _, s := range sources {
-		if dist[s] > 0 {
-			dist[s] = 0
-			heap.Push(h, pqItem{s, 0})
-		}
-	}
-	relaxations := int64(0)
-	for h.Len() > 0 {
-		it := heap.Pop(h).(pqItem)
-		if it.time > dist[it.node] {
-			continue
-		}
-		if it.node == target {
-			break
-		}
-		for _, eid := range g.Out[it.node] {
-			e := g.Edges[eid]
-			relaxations++
-			start := resv.earliestFree(e.Res, it.time, e.Latency)
-			arr := start + e.Latency
-			if arr < dist[e.To] {
-				dist[e.To] = arr
-				predEdge[e.To] = eid
-				predStart[e.To] = start
-				heap.Push(h, pqItem{e.To, arr})
-			}
-		}
-	}
-	obs.C("ccg.relaxations").Add(relaxations)
-	obs.C("ccg.searches").Inc()
-	if dist[target] == inf {
-		return nil
-	}
-	// Reconstruct.
-	var steps []Step
-	for at := target; predEdge[at] >= 0; {
-		e := g.Edges[predEdge[at]]
-		steps = append(steps, Step{Edge: e, Start: predStart[at], End: predStart[at] + e.Latency})
-		at = e.From
-	}
-	for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
-		steps[i], steps[j] = steps[j], steps[i]
-	}
-	return &PathResult{Steps: steps, Arrival: dist[target]}
 }
 
 // ReservePath books every step of the path.

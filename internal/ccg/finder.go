@@ -1,0 +1,210 @@
+package ccg
+
+import (
+	"container/heap"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Finder runs reservation-aware Dijkstra searches over a Graph while
+// reusing its distance, predecessor and heap buffers across calls — the
+// scheduler issues one search per core port, so a chip-level schedule
+// performs hundreds of searches over graphs of identical node count, and
+// the per-search allocations used to dominate the enumerate loop's
+// profile. A Finder is not safe for concurrent use; create one per
+// goroutine (sched.Schedule threads one through a whole schedule build).
+//
+// Determinism contract: searches settle nodes in (arrival, node index)
+// order and keep the first predecessor that achieves a node's final
+// arrival. Because relaxations out of a node follow adjacency-list order
+// and the adjacency lists follow edge insertion order, a search is a pure
+// function of (graph, sources, targets, reservations) — and, crucially
+// for incremental re-evaluation, the distance/predecessor assignment of
+// every node NOT reachable from a mutated region is identical before and
+// after the mutation (see DESIGN.md on the delta invalidation model).
+type Finder struct {
+	dist      []int
+	predEdge  []int
+	predStart []int
+	stamp     []uint32
+	epoch     uint32
+	h         pq
+	// per-query target bookkeeping
+	tpos   []int // node -> index into the targets slice, stamped
+	tstamp []uint32
+}
+
+// NewFinder returns an empty Finder; buffers grow on first use.
+func NewFinder() *Finder { return &Finder{} }
+
+const inf = int(^uint(0) >> 1)
+
+// grow sizes the node-indexed buffers for n nodes, preserving epochs.
+func (f *Finder) grow(n int) {
+	if len(f.dist) >= n {
+		return
+	}
+	f.dist = append(f.dist, make([]int, n-len(f.dist))...)
+	f.predEdge = append(f.predEdge, make([]int, n-len(f.predEdge))...)
+	f.predStart = append(f.predStart, make([]int, n-len(f.predStart))...)
+	f.stamp = append(f.stamp, make([]uint32, n-len(f.stamp))...)
+	f.tpos = append(f.tpos, make([]int, n-len(f.tpos))...)
+	f.tstamp = append(f.tstamp, make([]uint32, n-len(f.tstamp))...)
+}
+
+// begin starts a query epoch: every node's distance reads as inf until
+// touched. Epoch 0 is never used so zeroed stamps read as stale.
+func (f *Finder) begin(n int) {
+	f.grow(n)
+	f.epoch++
+	if f.epoch == 0 { // wrapped: hard-reset stamps once every 2^32 queries
+		for i := range f.stamp {
+			f.stamp[i] = 0
+			f.tstamp[i] = 0
+		}
+		f.epoch = 1
+	}
+	f.h = f.h[:0]
+}
+
+func (f *Finder) distAt(n int) int {
+	if f.stamp[n] != f.epoch {
+		return inf
+	}
+	return f.dist[n]
+}
+
+func (f *Finder) setDist(n, d, pe, ps int) {
+	f.stamp[n] = f.epoch
+	f.dist[n] = d
+	f.predEdge[n] = pe
+	f.predStart[n] = ps
+}
+
+// ShortestPath finds the earliest-arrival path from any node in sources
+// (available from cycle 0) to target, honoring reservations exactly as
+// Graph.ShortestPath does. It returns nil when no path exists.
+func (f *Finder) ShortestPath(g *Graph, sources []int, target int, resv Reservations) *PathResult {
+	var out [1]*PathResult
+	f.search(g, sources, []int{target}, resv, out[:])
+	return out[0]
+}
+
+// ShortestPathMulti runs ONE Dijkstra from the source set and returns the
+// earliest-arrival path to every target (nil where unreachable), in
+// target order. The search terminates as soon as every reachable target
+// has settled instead of paying one full Dijkstra per target — this is
+// what turned the scheduler's per-PO probing loop into a single search.
+// Repeated targets share one settle; repeated sources are seeded once.
+// Each returned path is bit-identical to the one a dedicated
+// single-target ShortestPath would find.
+func (f *Finder) ShortestPathMulti(g *Graph, sources []int, targets []int, resv Reservations) []*PathResult {
+	out := make([]*PathResult, len(targets))
+	f.search(g, sources, targets, resv, out)
+	return out
+}
+
+func (f *Finder) search(g *Graph, sources []int, targets []int, resv Reservations, out []*PathResult) {
+	f.begin(len(g.Nodes))
+	// Mark targets; duplicates resolve to the first position and are
+	// copied across at the end.
+	remaining := 0
+	for i, t := range targets {
+		if f.tstamp[t] != f.epoch {
+			f.tstamp[t] = f.epoch
+			f.tpos[t] = i
+			remaining++
+		}
+	}
+	// Seed the sources. A repeated source is seeded exactly once: the
+	// second occurrence already reads distance 0.
+	for _, s := range sources {
+		if f.distAt(s) > 0 {
+			f.setDist(s, 0, -1, 0)
+			heap.Push(&f.h, pqItem{s, 0})
+		}
+	}
+	relaxations := int64(0)
+	for f.h.Len() > 0 && remaining > 0 {
+		it := heap.Pop(&f.h).(pqItem)
+		if it.time > f.dist[it.node] || f.stamp[it.node] != f.epoch {
+			continue // stale heap entry
+		}
+		if f.tstamp[it.node] == f.epoch && f.tpos[it.node] >= 0 {
+			// A target settled: its distance and predecessor chain are
+			// final (relaxation is strictly improving, and every ancestor
+			// settled earlier).
+			f.tpos[it.node] = ^f.tpos[it.node] // mark settled, keep position
+			remaining--
+			if remaining == 0 {
+				break
+			}
+		}
+		for _, eid := range g.Out[it.node] {
+			e := g.Edges[eid]
+			relaxations++
+			start := resv.earliestFree(e.Res, it.time, e.Latency)
+			arr := start + e.Latency
+			if arr < f.distAt(e.To) {
+				f.setDist(e.To, arr, eid, start)
+				heap.Push(&f.h, pqItem{e.To, arr})
+			}
+		}
+	}
+	obs.C("ccg.relaxations").Add(relaxations)
+	obs.C("ccg.searches").Inc()
+	for i, t := range targets {
+		if f.distAt(t) == inf {
+			continue
+		}
+		if f.tstamp[t] == f.epoch && f.tpos[t] != i && ^f.tpos[t] != i {
+			// Duplicate target: reconstructed under its first position.
+			first := f.tpos[t]
+			if first < 0 {
+				first = ^first
+			}
+			out[i] = out[first]
+			continue
+		}
+		out[i] = f.reconstruct(g, t)
+	}
+}
+
+// reconstruct walks the predecessor chain from t back to a source.
+func (f *Finder) reconstruct(g *Graph, t int) *PathResult {
+	var steps []Step
+	for at := t; f.predEdge[at] >= 0; {
+		e := g.Edges[f.predEdge[at]]
+		steps = append(steps, Step{Edge: e, Start: f.predStart[at], End: f.predStart[at] + e.Latency})
+		at = e.From
+	}
+	for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+		steps[i], steps[j] = steps[j], steps[i]
+	}
+	return &PathResult{Steps: steps, Arrival: f.dist[t]}
+}
+
+// finderPool backs the allocation-free convenience wrappers on Graph.
+var finderPool = sync.Pool{New: func() interface{} { return NewFinder() }}
+
+// ShortestPath finds the earliest-arrival path from any node in sources
+// (available from cycle 0) to target, honoring reservations: a reserved
+// edge can only be entered once its busy windows have passed (the paper's
+// modified Dijkstra of Section 5.1). It returns nil when no path exists.
+// The search runs on a pooled Finder; for many searches over one graph,
+// hold an explicit Finder instead.
+func (g *Graph) ShortestPath(sources []int, target int, resv Reservations) *PathResult {
+	f := finderPool.Get().(*Finder)
+	p := f.ShortestPath(g, sources, target, resv)
+	finderPool.Put(f)
+	return p
+}
+
+// ShortestPathMulti is Finder.ShortestPathMulti on a pooled Finder.
+func (g *Graph) ShortestPathMulti(sources []int, targets []int, resv Reservations) []*PathResult {
+	f := finderPool.Get().(*Finder)
+	ps := f.ShortestPathMulti(g, sources, targets, resv)
+	finderPool.Put(f)
+	return ps
+}

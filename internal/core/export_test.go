@@ -1,0 +1,8 @@
+package core
+
+// SetCrippleInvalidation flips the delta evaluator's test-only hook that
+// skips the invalidation BFS, deliberately reusing stale schedules for
+// every core but the changed one. The differential tests use it to prove
+// the delta-vs-full equivalence check actually detects a
+// stale-invalidation bug.
+func (d *DeltaEvaluator) SetCrippleInvalidation(v bool) { d.crippleInvalidation = v }

@@ -9,7 +9,9 @@ package core
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 
@@ -307,26 +309,38 @@ func (f *Flow) SelectionKey(sel map[string]int) string {
 // many evaluations over one flow at once. Cancellation is checked at the
 // phase boundaries; a cancelled evaluation returns ctx.Err().
 func (f *Flow) evaluate(ctx context.Context, sel map[string]int) (*Evaluation, error) {
+	e, _, _, err := f.evaluateFull(ctx, sel)
+	return e, err
+}
+
+// evaluateFull is evaluate exposing the two extra facts the delta
+// evaluator snapshots with a base: the pristine edge count (edges in the
+// graph before scheduling appended any test muxes — the splice point of
+// ccg.CloneWithVersion) and the forced-mux area.
+func (f *Flow) evaluateFull(ctx context.Context, sel map[string]int) (*Evaluation, int, cell.Area, error) {
 	root := obs.Start(nil, "evaluate")
 	defer root.End()
+	var noArea cell.Area
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, 0, noArea, err
 	}
 	g, forcedArea, err := f.buildGraph(root, f.Chip, sel)
 	if err != nil {
-		return nil, err
+		return nil, 0, noArea, err
 	}
+	pristine := g.EdgeCount()
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, 0, noArea, err
 	}
 	s, err := sched.Schedule(f.Chip, g)
 	if err != nil {
-		return nil, err
+		return nil, 0, noArea, err
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, 0, noArea, err
 	}
-	return f.finishEvaluation(root, sel, g, s, forcedArea)
+	e, err := f.finishEvaluation(root, sel, g, s, forcedArea, nil)
+	return e, pristine, forcedArea, err
 }
 
 // buildGraph assembles the CCG for ch under sel and wires in the flow's
@@ -351,9 +365,11 @@ func (f *Flow) buildGraph(root *obs.Span, ch *soc.Chip, sel map[string]int) (*cc
 
 // finishEvaluation replays the schedule for physical consistency and fills
 // in the controller, areas, interconnect plan and bottom line. It is
-// shared by the full and the degraded evaluation paths; for the latter, s
-// covers only the testable subset.
-func (f *Flow) finishEvaluation(root *obs.Span, sel map[string]int, g *ccg.Graph, s *sched.Result, forcedArea cell.Area) (*Evaluation, error) {
+// shared by the full, degraded and delta evaluation paths; for the
+// degraded path, s covers only the testable subset. ir, when non-nil, is
+// a precomputed interconnect plan (the delta evaluator reuses unaffected
+// nets); nil schedules the interconnect from scratch.
+func (f *Flow) finishEvaluation(root *obs.Span, sel map[string]int, g *ccg.Graph, s *sched.Result, forcedArea cell.Area, ir *sched.InterconnectResult) (*Evaluation, error) {
 	if err := sched.Validate(s); err != nil {
 		return nil, fmt.Errorf("core: schedule failed replay validation: %w", err)
 	}
@@ -372,11 +388,14 @@ func (f *Flow) finishEvaluation(root *obs.Span, sel map[string]int, g *ccg.Graph
 	e.TransCells = e.TransArea.Cells()
 	e.MuxCells = e.MuxArea.Cells()
 	e.CtrlCells = e.CtrlArea.Cells()
-	sp = obs.Start(root, "interconnect/sched")
-	ir, err := sched.ScheduleInterconnect(f.Chip, g)
-	sp.End()
-	if err != nil {
-		return nil, err
+	if ir == nil {
+		sp = obs.Start(root, "interconnect/sched")
+		var err error
+		ir, err = sched.ScheduleInterconnect(f.Chip, g)
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
 	}
 	e.Interconnect = ir
 	_, bistCycles, _ := bist.PlanChip(f.Chip)
@@ -422,42 +441,65 @@ func applyForcedMux(ch *soc.Chip, g *ccg.Graph, fm ForcedMux) (int, error) {
 	return width, nil
 }
 
-// pickChipPin selects the chip pin a forced test mux attaches to: the
-// narrowest pin at least width bits wide (so the full port is covered
-// with the least wiring), falling back to the widest pin available; ties
-// break by name for determinism.
+// pickChipPin selects the chip pin a forced test mux attaches to; the
+// policy (narrowest covering pin, widest fallback, name tie-break) now
+// lives in sched.PickPin so created and forced muxes can never disagree.
 func pickChipPin(g *ccg.Graph, pins []soc.Pin, width int) (int, error) {
-	if len(pins) == 0 {
-		return 0, fmt.Errorf("chip has no pins to attach a test mux to")
+	return sched.PickPin(g, pins, width)
+}
+
+// Fingerprint returns a cheap structural signature of the flow's chip:
+// name, pins, per-core version ladders (count, area and latency per
+// version, vector count) and nets. Two flows over structurally identical
+// chips fingerprint equal; any difference that could change an
+// evaluation's numbers changes the fingerprint. ForcedMuxes are
+// deliberately excluded — they mutate during explore.Improve and are
+// already part of every SelectionKey — so a cache can stay bound to one
+// flow across mux placements while still detecting cross-chip reuse.
+func (f *Flow) Fingerprint() uint64 {
+	h := fnv.New64a()
+	w := func(s string) {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
 	}
-	best := -1
-	better := func(i int) bool {
-		if best < 0 {
-			return true
+	wi := func(v int) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		h.Write(b[:])
+	}
+	w(f.Chip.Name)
+	for _, p := range f.Chip.PIs {
+		w(p.Name)
+		wi(p.Width)
+	}
+	for _, p := range f.Chip.POs {
+		w(p.Name)
+		wi(p.Width)
+	}
+	for _, c := range f.Chip.Cores {
+		w(c.Name)
+		if c.Memory {
+			w("mem")
 		}
-		bw, iw := pins[best].Width, pins[i].Width
-		bOK, iOK := bw >= width, iw >= width
-		if bOK != iOK {
-			return iOK // prefer pins wide enough for the port
+		if c.Disabled != "" {
+			w("off:" + c.Disabled)
 		}
-		if bw != iw {
-			if bOK {
-				return iw < bw // both cover: narrowest wins
+		wi(c.Vectors)
+		wi(len(c.Versions))
+		for _, v := range c.Versions {
+			wi(v.Area.Cells())
+			for _, pairs := range [][]trans.Pair{v.JustPairs(), v.PropPairs()} {
+				for _, p := range pairs {
+					w(p.In + ">" + p.Out)
+					wi(p.Latency)
+				}
 			}
-			return iw > bw // neither covers: widest wins
-		}
-		return pins[i].Name < pins[best].Name
-	}
-	for i := range pins {
-		if better(i) {
-			best = i
 		}
 	}
-	idx, ok := g.NodeIndex(pins[best].Name)
-	if !ok {
-		return 0, fmt.Errorf("chip pin %s missing from the CCG", pins[best].Name)
+	for _, n := range f.Chip.Nets {
+		w(n.FromCore + "." + n.FromPort + ">" + n.ToCore + "." + n.ToPort)
 	}
-	return idx, nil
+	return h.Sum64()
 }
 
 // SelectVersions applies a version index per core (missing cores keep

@@ -1,0 +1,77 @@
+package explore
+
+// One cache serves one prepared flow: selection keys and cached delta
+// bases are only meaningful against the flow that produced them, so a
+// cache must loudly refuse a structurally different flow instead of
+// silently serving stale evaluations (the old behaviour). A re-prepared
+// flow over the same chip structure is fine — the fingerprint proves key
+// compatibility — it just doesn't get the other flow's delta bases.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/socgen"
+	"repro/internal/systems"
+)
+
+func TestCacheRejectsDifferentFlow(t *testing.T) {
+	f1 := flow(t)
+	ch, err := socgen.Generate(socgen.Params{Seed: 5, Cores: 6, Topology: socgen.Chain})
+	if err != nil {
+		t.Fatalf("socgen: %v", err)
+	}
+	vecs := map[string]int{}
+	for i, c := range ch.Cores {
+		vecs[c.Name] = 8 + i
+	}
+	f2, err := core.Prepare(ch, &core.Options{VectorOverride: vecs})
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+
+	c := NewCache()
+	if _, err := c.Evaluate(f1, f1.CurrentSelection()); err != nil {
+		t.Fatalf("binding evaluation: %v", err)
+	}
+	_, err = c.Evaluate(f2, f2.CurrentSelection())
+	if err == nil {
+		t.Fatal("cache accepted a structurally different flow; one cache must serve one prepared flow")
+	}
+	for _, want := range []string{f1.Chip.Name, f2.Chip.Name, "one cache serves one prepared flow"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("mismatch error %q does not mention %q", err, want)
+		}
+	}
+	// The bound flow keeps working after the rejection.
+	if _, err := c.Evaluate(f1, f1.CurrentSelection()); err != nil {
+		t.Fatalf("bound flow rejected after mismatch: %v", err)
+	}
+}
+
+func TestCacheAcceptsReprepairedEquivalentFlow(t *testing.T) {
+	f1 := flow(t)
+	// A fresh Prepare over the same chip structure: different pointer,
+	// same fingerprint, so keys are compatible and evaluations must agree.
+	f2, err := core.Prepare(systems.System1(), nil)
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	reset(f2)
+	if f1.Fingerprint() != f2.Fingerprint() {
+		t.Fatal("two Prepares of the same system disagree on the fingerprint")
+	}
+	c := NewCache()
+	e1, err := c.Evaluate(f1, f1.CurrentSelection())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := c.Evaluate(f2, f2.CurrentSelection())
+	if err != nil {
+		t.Fatalf("equivalent re-prepared flow rejected: %v", err)
+	}
+	if e1 != e2 {
+		t.Error("same selection over fingerprint-equal flows missed the cache")
+	}
+}

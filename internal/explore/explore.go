@@ -64,24 +64,67 @@ type Options struct {
 	// Cache, when non-nil, memoizes evaluations. One cache serves one
 	// prepared flow; share it between Enumerate and Improve so the
 	// improvement walk reuses points the enumeration already visited.
+	// When nil, Enumerate and Improve create a private cache so the
+	// incremental delta evaluator accelerates single-core-change
+	// candidates by default.
 	Cache *Cache
 	// MaxPoints caps how many selections Enumerate generates (<= 0 means
 	// every combination). Generation order is fixed, so a capped run
 	// evaluates a deterministic prefix of the full enumeration — the only
 	// way to sweep a chip whose |versions|^n product is astronomical.
 	MaxPoints int
+	// FullEval disables the incremental delta evaluator: every cache miss
+	// runs a full core.Flow.EvaluateSelection. Delta results are
+	// bit-identical to full ones (proptest gates that), so this exists
+	// for measurement and as an escape hatch, not for correctness.
+	FullEval bool
+}
+
+// defaultCache gives the explorer a private cache when the caller passed
+// none, honoring FullEval; evaluation acceleration should not depend on
+// the caller remembering to construct one.
+func (o *Options) defaultCache() {
+	if o.Cache != nil {
+		return
+	}
+	if o.FullEval {
+		o.Cache = NewFullCache()
+	} else {
+		o.Cache = NewCache()
+	}
 }
 
 // Cache memoizes chip-level evaluations keyed by the canonical
-// (selection, forced-mux set) signature of core.Flow.SelectionKey. It is
-// safe for concurrent use.
+// (selection, forced-mux set) signature of core.Flow.SelectionKey, and
+// computes misses through an incremental delta evaluator bound to the
+// flow. It is safe for concurrent use.
+//
+// One cache serves one prepared flow — and, unlike before, that contract
+// is enforced: the cache binds to the first flow it evaluates and
+// records a structural fingerprint of its chip. Reusing the cache with a
+// structurally different flow (as a long-lived daemon reusing caches
+// across chips would) is a loud error instead of silently wrong
+// evaluations on a SelectionKey collision.
 type Cache struct {
-	mu sync.Mutex
-	m  map[string]*core.Evaluation
+	mu    sync.Mutex
+	m     map[string]*core.Evaluation
+	flow  *core.Flow
+	fp    uint64
+	delta *core.DeltaEvaluator
+	full  bool
 }
 
-// NewCache returns an empty evaluation cache.
+// NewCache returns an empty evaluation cache; misses on the flow it
+// binds to are computed incrementally where a single-core delta applies.
 func NewCache() *Cache { return &Cache{m: map[string]*core.Evaluation{}} }
+
+// NewFullCache returns a cache that memoizes but computes every miss
+// with a full evaluation, never the delta path.
+func NewFullCache() *Cache {
+	c := NewCache()
+	c.full = true
+	return c
+}
 
 // Evaluate returns the memoized evaluation for the selection, computing
 // and storing it on a miss. A nil cache simply evaluates. Cached
@@ -92,21 +135,43 @@ func (c *Cache) Evaluate(f *core.Flow, sel map[string]int) (*core.Evaluation, er
 }
 
 // EvaluateCtx is Evaluate honoring ctx: a cancelled evaluation returns
-// ctx.Err() and stores nothing.
+// ctx.Err() and stores nothing. The first call binds the cache to f; a
+// later call with a structurally different flow returns an error.
 func (c *Cache) EvaluateCtx(ctx context.Context, f *core.Flow, sel map[string]int) (*core.Evaluation, error) {
 	if c == nil {
 		return f.EvaluateSelectionCtx(ctx, sel)
 	}
 	key := f.SelectionKey(sel)
 	c.mu.Lock()
+	if c.flow == nil {
+		c.flow = f
+		c.fp = f.Fingerprint()
+		if !c.full {
+			c.delta = core.NewDeltaEvaluator(f)
+		}
+	} else if f != c.flow && f.Fingerprint() != c.fp {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("explore: cache is bound to flow over chip %q (fingerprint %016x) but was asked to evaluate chip %q (%016x): one cache serves one prepared flow",
+			c.flow.Chip.Name, c.fp, f.Chip.Name, f.Fingerprint())
+	}
 	e, ok := c.m[key]
+	delta := c.delta
+	sameFlow := f == c.flow
 	c.mu.Unlock()
 	if ok {
 		obs.C("explore.cache_hits").Inc()
 		return e, nil
 	}
 	obs.C("explore.cache_misses").Inc()
-	e, err := f.EvaluateSelectionCtx(ctx, sel)
+	var err error
+	if delta != nil && sameFlow {
+		e, err = delta.EvaluateSelectionCtx(ctx, sel)
+	} else {
+		// A distinct flow object with an identical fingerprint keys
+		// compatibly, but the delta evaluator's bases belong to the bound
+		// flow's forced-mux state — evaluate fully.
+		e, err = f.EvaluateSelectionCtx(ctx, sel)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -215,6 +280,7 @@ func EnumerateOpts(f *core.Flow, o Options) ([]Point, error) {
 func EnumerateCtx(ctx context.Context, f *core.Flow, o Options) ([]Point, error) {
 	sp := obs.Start(nil, "explore/enumerate")
 	defer sp.End()
+	o.defaultCache()
 	cPoints := obs.C("explore.points_evaluated")
 	sels := allSelections(f.Chip.TestableCores(), o.MaxPoints)
 	prog := progress.Start("explore/enumerate", int64(len(sels)),
@@ -486,6 +552,7 @@ func ImproveOpts(f *core.Flow, obj Objective, budget int, o Options) (*Result, e
 func ImproveCtx(ctx context.Context, f *core.Flow, obj Objective, budget int, o Options) (*Result, error) {
 	root := obs.Start(nil, "explore/improve")
 	defer root.End()
+	o.defaultCache()
 	prog := progress.Start("explore/improve", 0,
 		"explore.moves_accepted", "explore.moves_rejected", "explore.cache_hits", "explore.cache_misses")
 	defer prog.End()

@@ -19,6 +19,7 @@ var KnownCounters = []string{
 	"atpg.untestable",                  // faults proven untestable
 	"atpg.vectors",                     // test vectors kept after generation
 	"ccg.builds",                       // core connectivity graphs constructed
+	"ccg.clones",                       // delta-evaluation graph splices (CloneWithVersion)
 	"ccg.relaxations",                  // Dijkstra edge relaxations
 	"ccg.reservation_conflicts",        // path searches that hit a reserved edge slot
 	"ccg.searches",                     // shortest-path searches
@@ -26,6 +27,9 @@ var KnownCounters = []string{
 	"core.baseline_muxes_preinstalled", // degraded flow: baseline muxes re-applied
 	"core.degraded_evaluations",        // EvaluateDegraded runs
 	"core.degraded_fallbacks",          // degraded flow: greedy version fallbacks taken
+	"core.delta_evaluations",           // selections evaluated via the incremental delta path
+	"core.delta_fallbacks",             // delta attempts that punted to a full evaluation
+	"core.delta_hits",                  // delta-evaluator base registry hits (zero-diff)
 	"core.evaluations",                 // full chip evaluations (Evaluate/EvaluateSelection)
 	"core.forced_muxes",                // system-level test muxes force-installed
 	"explore.cache_hits",               // evaluation cache hits

@@ -8,6 +8,7 @@
 package proptest
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -111,10 +112,98 @@ func Check(p socgen.Params) (*Stats, error) {
 		}
 	}
 
+	if err := checkDeltaEquivalence(f, ch); err != nil {
+		return st, err
+	}
+
 	if err := checkMetamorphic(f, ch, st); err != nil {
 		return st, err
 	}
 	return st, nil
+}
+
+// checkDeltaEquivalence asserts the incremental delta evaluator is
+// bit-identical to the full evaluation path: from a base at the current
+// selection, flip each core to its next version (wrapping) one at a
+// time and require every reported number and the canonical schedule
+// signature to match. This is the correctness gate of the delta
+// invalidation model — an over-eager reuse or a stale invalidation
+// surfaces here as a signature or field mismatch.
+func checkDeltaEquivalence(f *core.Flow, ch *soc.Chip) error {
+	d := core.NewDeltaEvaluator(f)
+	base := f.CurrentSelection()
+	if _, err := d.Rebase(context.Background(), base); err != nil {
+		return fmt.Errorf("delta rebase: %w", err)
+	}
+	flips := 0
+	for _, c := range ch.TestableCores() {
+		if len(c.Versions) < 2 {
+			continue
+		}
+		sel := map[string]int{}
+		for k, v := range base {
+			sel[k] = v
+		}
+		sel[c.Name] = (base[c.Name] + 1) % len(c.Versions)
+		de, err := d.EvaluateSelection(sel)
+		if err != nil {
+			return fmt.Errorf("delta evaluate (flip %s): %w", c.Name, err)
+		}
+		fe, err := f.EvaluateSelection(sel)
+		if err != nil {
+			return fmt.Errorf("full evaluate (flip %s): %w", c.Name, err)
+		}
+		if err := EqualEvaluations(de, fe); err != nil {
+			return fmt.Errorf("delta != full after flipping %s: %w", c.Name, err)
+		}
+		flips++
+	}
+	// Guard against a vacuous pass: the equivalence above only means
+	// something if the incremental path actually ran.
+	if st := d.Stats(); flips > 0 && st.Deltas == 0 {
+		return fmt.Errorf("delta evaluator never took the incremental path across %d flips (%+v)", flips, st)
+	}
+	return nil
+}
+
+// EqualEvaluations compares two evaluations of the same selection for
+// bit-identity: every reported number and the canonical schedule
+// signature. A non-nil error names the first difference.
+func EqualEvaluations(a, b *core.Evaluation) error {
+	type num struct {
+		name string
+		a, b int
+	}
+	nums := []num{
+		{"TAT", a.TAT, b.TAT},
+		{"LogicTAT", a.LogicTAT, b.LogicTAT},
+		{"TransCells", a.TransCells, b.TransCells},
+		{"MuxCells", a.MuxCells, b.MuxCells},
+		{"CtrlCells", a.CtrlCells, b.CtrlCells},
+		{"BISTCycles", a.BISTCycles, b.BISTCycles},
+		{"TransGrids", a.TransArea.Grids(), b.TransArea.Grids()},
+		{"MuxGrids", a.MuxArea.Grids(), b.MuxArea.Grids()},
+		{"CtrlGrids", a.CtrlArea.Grids(), b.CtrlArea.Grids()},
+		{"InterconnectTAT", a.Interconnect.TotalTAT, b.Interconnect.TotalTAT},
+		{"InterconnectNets", len(a.Interconnect.Nets), len(b.Interconnect.Nets)},
+		{"UntestableNets", len(a.Interconnect.Untestable), len(b.Interconnect.Untestable)},
+		{"CtrlStates", a.Controller.States, b.Controller.States},
+	}
+	for _, n := range nums {
+		if n.a != n.b {
+			return fmt.Errorf("%s differs: %d vs %d", n.name, n.a, n.b)
+		}
+	}
+	for i, nt := range a.Interconnect.Nets {
+		o := b.Interconnect.Nets[i]
+		if nt != o {
+			return fmt.Errorf("interconnect net %d differs: %+v vs %+v", i, nt, o)
+		}
+	}
+	if sa, sb := Signature(a), Signature(b); sa != sb {
+		return fmt.Errorf("schedule signatures differ:\n--- a ---\n%s--- b ---\n%s", sa, sb)
+	}
+	return nil
 }
 
 type rng struct{ s uint64 }
@@ -200,8 +289,13 @@ func checkSchedule(ch *soc.Chip, e *core.Evaluation) error {
 	return nil
 }
 
-// scheduleSignature renders a schedule to a canonical string, node names
+// Signature renders a schedule to a canonical string, node names
 // included, so two evaluations can be compared for bit-identical paths.
+// Edge IDs are deliberately absent: an incremental graph splice shifts
+// IDs after the spliced range without changing any path.
+func Signature(e *core.Evaluation) string { return scheduleSignature(e) }
+
+// scheduleSignature is the unexported spelling the in-package checks use.
 func scheduleSignature(e *core.Evaluation) string {
 	var b []byte
 	app := func(s string) { b = append(b, s...) }

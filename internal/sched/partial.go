@@ -94,6 +94,7 @@ func BuildPartial(ch *soc.Chip, g *ccg.Graph, opts *PartialOptions) (*Result, *D
 		res.MuxArea = opts.PreMuxArea
 	}
 	deg := &Degradation{}
+	fi := ccg.NewFinder()
 	skip := func(c *soc.Core, pf PortFailure) {
 		deg.Failures = append(deg.Failures, pf)
 		deg.Skipped = append(deg.Skipped, c.Name)
@@ -110,7 +111,7 @@ func BuildPartial(ch *soc.Chip, g *ccg.Graph, opts *PartialOptions) (*Result, *D
 		edgeMark := g.EdgeCount()
 		muxMark := res.MuxArea
 		sp := obs.Start(root, "sched/"+c.Name)
-		cs, err := scheduleCore(ch, g, c, res, allow)
+		cs, err := scheduleCore(ch, g, fi, c, res, allow)
 		sp.End()
 		if err != nil {
 			g.TruncateEdges(edgeMark)

@@ -1,0 +1,92 @@
+package sched_test
+
+// Regression tests for the mux pin picker. The old bestPI/bestPO ignored
+// the port argument entirely and always grabbed the widest chip pin, so
+// a narrow-port core's test mux could hog a wide bus pin while an exact
+// fit sat unused — and a chip with no pins silently got node 0. PickPin
+// must prefer the narrowest pin that still covers the port width, fall
+// back to the widest when none covers, break width ties by name, and
+// error loudly on a pinless chip.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ccg"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/soc"
+)
+
+func graphOf(t *testing.T, f *core.Flow) *ccg.Graph {
+	t.Helper()
+	g, err := ccg.Build(f.Chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func mustNode(t *testing.T, g *ccg.Graph, name string) int {
+	t.Helper()
+	i, ok := g.NodeIndex(name)
+	if !ok {
+		t.Fatalf("no CCG node %s", name)
+	}
+	return i
+}
+
+func TestPickPinWidthCompatibility(t *testing.T) {
+	f := section3Flow(t)
+	g := graphOf(t, f)
+	num := mustNode(t, g, "NUM")
+	video := mustNode(t, g, "Video")
+	reset := mustNode(t, g, "Reset")
+
+	pins := []soc.Pin{{Name: "NUM", Width: 16}, {Name: "Video", Width: 8}, {Name: "Reset", Width: 1}}
+	cases := []struct {
+		width int
+		want  int
+		name  string
+	}{
+		{1, reset, "exact narrow fit beats wider pins"},
+		{8, video, "narrowest covering pin, not the widest"},
+		{12, num, "only the 16-bit pin covers a 12-bit port"},
+		{32, num, "nothing covers: widest pin is the best effort"},
+	}
+	for _, c := range cases {
+		got, err := sched.PickPin(g, pins, c.width)
+		if err != nil {
+			t.Fatalf("width %d: %v", c.width, err)
+		}
+		if got != c.want {
+			t.Errorf("width %d: picked %s, want %s (%s)",
+				c.width, g.Nodes[got].Name(), g.Nodes[c.want].Name(), c.name)
+		}
+	}
+}
+
+func TestPickPinTieBreaksByName(t *testing.T) {
+	f := section3Flow(t)
+	g := graphOf(t, f)
+	pins := []soc.Pin{{Name: "Video", Width: 8}, {Name: "NUM", Width: 8}}
+	got, err := sched.PickPin(g, pins, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := mustNode(t, g, "NUM"); got != want {
+		t.Errorf("equal-width tie went to %s, want the lexicographically first pin NUM", g.Nodes[got].Name())
+	}
+}
+
+func TestPickPinErrors(t *testing.T) {
+	f := section3Flow(t)
+	g := graphOf(t, f)
+	if _, err := sched.PickPin(g, nil, 8); err == nil {
+		t.Error("pinless chip: want a loud error, got the old silent node-0 fallback")
+	}
+	_, err := sched.PickPin(g, []soc.Pin{{Name: "NoSuchPin", Width: 8}}, 8)
+	if err == nil || !strings.Contains(err.Error(), "NoSuchPin") {
+		t.Errorf("pin missing from the CCG: want an error naming it, got %v", err)
+	}
+}

@@ -29,13 +29,27 @@ type PortSchedule struct {
 	AddedMux bool // a system-level test mux had to be inserted
 }
 
+// Mux is one system-level test multiplexer the scheduler inserted while
+// planning a core: the CCG edge endpoints, the served port and its
+// width. Recording insertions per core is what lets the incremental
+// delta evaluator replay an unaffected core's muxes into a spliced graph
+// — and prove that a recomputed core made exactly the decisions the base
+// schedule made.
+type Mux struct {
+	From, To int // CCG node indices
+	Port     string
+	Input    bool
+	Width    int
+}
+
 // CoreSchedule is the test schedule of one core.
 type CoreSchedule struct {
 	Core         string
 	Inputs       []PortSchedule
 	Outputs      []PortSchedule
-	Period       int // J: cycles to deliver one vector to all inputs
-	ObserveLat   int // worst output-to-PO propagation latency
+	Muxes        []Mux // system-level test muxes inserted for this core
+	Period       int   // J: cycles to deliver one vector to all inputs
+	ObserveLat   int   // worst output-to-PO propagation latency
 	Tail         int
 	HSCANVectors int
 	TAT          int
@@ -67,12 +81,13 @@ func Schedule(ch *soc.Chip, g *ccg.Graph) (*Result, error) {
 	root := obs.Start(nil, "sched")
 	defer root.End()
 	res := &Result{}
+	fi := ccg.NewFinder()
 	for _, c := range ch.TestableCores() {
 		if c.Disabled != "" {
 			return nil, fmt.Errorf("sched: core %s disabled: %s", c.Name, c.Disabled)
 		}
 		sp := obs.Start(root, "sched/"+c.Name)
-		cs, err := scheduleCore(ch, g, c, res, nil)
+		cs, err := scheduleCore(ch, g, fi, c, res, nil)
 		sp.End()
 		if err != nil {
 			return nil, err
@@ -84,13 +99,28 @@ func Schedule(ch *soc.Chip, g *ccg.Graph) (*Result, error) {
 	return res, nil
 }
 
+// ScheduleCore plans one core's test on g exactly as a full Schedule run
+// would at this core's turn, accumulating inserted-mux area into res. It
+// is the per-core entry point of the incremental delta evaluator: after
+// replaying the unaffected prefix of a base schedule (muxes included),
+// re-scheduling only the invalidated cores through here reproduces the
+// full run bit-for-bit. fi may be nil; a shared Finder avoids per-call
+// buffer allocation.
+func ScheduleCore(ch *soc.Chip, g *ccg.Graph, fi *ccg.Finder, c *soc.Core, res *Result) (*CoreSchedule, error) {
+	if fi == nil {
+		fi = ccg.NewFinder()
+	}
+	return scheduleCore(ch, g, fi, c, res, nil)
+}
+
 // scheduleCore plans one core's test. allowMux gates the system-level
 // test-mux fallback per port (nil allows every insertion, the design-time
 // behaviour); a denied or futile insertion surfaces as *UnreachableError.
-func scheduleCore(ch *soc.Chip, g *ccg.Graph, c *soc.Core, res *Result, allowMux func(core, port string, input bool) bool) (*CoreSchedule, error) {
+func scheduleCore(ch *soc.Chip, g *ccg.Graph, fi *ccg.Finder, c *soc.Core, res *Result, allowMux func(core, port string, input bool) bool) (*CoreSchedule, error) {
 	cs := &CoreSchedule{Core: c.Name}
 	resv := ccg.Reservations{}
 	pis := g.PINodes()
+	pos := g.PONodes()
 
 	// Justify every core input from the chip PIs, reserving edges so
 	// shared transparency logic serializes across inputs (Section 5.1).
@@ -100,7 +130,7 @@ func scheduleCore(ch *soc.Chip, g *ccg.Graph, c *soc.Core, res *Result, allowMux
 		if !ok {
 			return nil, fmt.Errorf("sched: missing CCG node %s.%s", c.Name, port)
 		}
-		p := g.ShortestPath(pis, target, resv)
+		p := fi.ShortestPath(g, pis, target, resv)
 		added := false
 		if p == nil {
 			// No existing path: connect the input to a PI with a
@@ -108,13 +138,17 @@ func scheduleCore(ch *soc.Chip, g *ccg.Graph, c *soc.Core, res *Result, allowMux
 			if allowMux != nil && !allowMux(c.Name, port, true) {
 				return nil, &UnreachableError{Core: c.Name, Port: port, Input: true, MuxDenied: true}
 			}
-			pi := bestPI(ch, g, port)
-			g.AddTestMux(pi, target)
 			width := portWidth(c, port)
+			pi, err := PickPin(g, ch.PIs, width)
+			if err != nil {
+				return nil, fmt.Errorf("sched: test mux for %s.%s: %w", c.Name, port, err)
+			}
+			g.AddTestMux(pi, target)
 			res.MuxArea.Add(cell.Mux2, width)
+			cs.Muxes = append(cs.Muxes, Mux{From: pi, To: target, Port: port, Input: true, Width: width})
 			obs.C("sched.test_muxes_added").Inc()
 			added = true
-			p = g.ShortestPath(pis, target, resv)
+			p = fi.ShortestPath(g, pis, target, resv)
 			if p == nil {
 				return nil, &UnreachableError{Core: c.Name, Port: port, Input: true}
 			}
@@ -137,19 +171,23 @@ func scheduleCore(ch *soc.Chip, g *ccg.Graph, c *soc.Core, res *Result, allowMux
 		if !ok {
 			return nil, fmt.Errorf("sched: missing CCG node %s.%s", c.Name, port)
 		}
-		p := bestPathToPO(g, source, oresv)
+		p := bestPathToPO(fi, g, source, pos, oresv)
 		added := false
 		if p == nil {
 			if allowMux != nil && !allowMux(c.Name, port, false) {
 				return nil, &UnreachableError{Core: c.Name, Port: port, MuxDenied: true}
 			}
-			po := bestPO(ch, g, port)
-			g.AddTestMux(source, po)
 			width := portWidth(c, port)
+			po, err := PickPin(g, ch.POs, width)
+			if err != nil {
+				return nil, fmt.Errorf("sched: test mux for %s.%s: %w", c.Name, port, err)
+			}
+			g.AddTestMux(source, po)
 			res.MuxArea.Add(cell.Mux2, width)
+			cs.Muxes = append(cs.Muxes, Mux{From: source, To: po, Port: port, Input: false, Width: width})
 			obs.C("sched.test_muxes_added").Inc()
 			added = true
-			p = bestPathToPO(g, source, oresv)
+			p = bestPathToPO(fi, g, source, pos, oresv)
 			if p == nil {
 				return nil, &UnreachableError{Core: c.Name, Port: port}
 			}
@@ -177,11 +215,12 @@ func scheduleCore(ch *soc.Chip, g *ccg.Graph, c *soc.Core, res *Result, allowMux
 	return cs, nil
 }
 
-// bestPathToPO runs one Dijkstra from source and picks the earliest PO.
-func bestPathToPO(g *ccg.Graph, source int, resv ccg.Reservations) *ccg.PathResult {
+// bestPathToPO finds the earliest-arriving PO with ONE multi-target
+// Dijkstra instead of one full search per primary output; ties break by
+// PO list order, matching the strict-< scan the per-PO loop used.
+func bestPathToPO(fi *ccg.Finder, g *ccg.Graph, source int, pos []int, resv ccg.Reservations) *ccg.PathResult {
 	var best *ccg.PathResult
-	for _, po := range g.PONodes() {
-		p := g.ShortestPath([]int{source}, po, resv)
+	for _, p := range fi.ShortestPathMulti(g, []int{source}, pos, resv) {
 		if p != nil && (best == nil || p.Arrival < best.Arrival) {
 			best = p
 		}
@@ -189,28 +228,46 @@ func bestPathToPO(g *ccg.Graph, source int, resv ccg.Reservations) *ccg.PathResu
 	return best
 }
 
-// bestPI picks the PI node for a created test mux: widest pin,
-// deterministic by name.
-func bestPI(ch *soc.Chip, g *ccg.Graph, port string) int {
-	bestName, bestW := "", -1
-	for _, p := range ch.PIs {
-		if p.Width > bestW || (p.Width == bestW && p.Name < bestName) {
-			bestName, bestW = p.Name, p.Width
+// PickPin selects the chip pin a created test mux attaches to: the
+// narrowest pin at least width bits wide (so the full port is covered
+// with the least wiring), falling back to the widest pin available; ties
+// break by name for determinism. An empty pin list or a pin missing from
+// the CCG is a loud error — the scheduler must never guess a node. This
+// is the same policy forced muxes use (core.Flow), fixing the old
+// bestPI/bestPO helpers that ignored port width and silently fell back
+// to node 0 on pinless chips.
+func PickPin(g *ccg.Graph, pins []soc.Pin, width int) (int, error) {
+	if len(pins) == 0 {
+		return 0, fmt.Errorf("chip has no pins to attach a test mux to")
+	}
+	best := -1
+	better := func(i int) bool {
+		if best < 0 {
+			return true
+		}
+		bw, iw := pins[best].Width, pins[i].Width
+		bOK, iOK := bw >= width, iw >= width
+		if bOK != iOK {
+			return iOK // prefer pins wide enough for the port
+		}
+		if bw != iw {
+			if bOK {
+				return iw < bw // both cover: narrowest wins
+			}
+			return iw > bw // neither covers: widest wins
+		}
+		return pins[i].Name < pins[best].Name
+	}
+	for i := range pins {
+		if better(i) {
+			best = i
 		}
 	}
-	i, _ := g.NodeIndex(bestName)
-	return i
-}
-
-func bestPO(ch *soc.Chip, g *ccg.Graph, port string) int {
-	bestName, bestW := "", -1
-	for _, p := range ch.POs {
-		if p.Width > bestW || (p.Width == bestW && p.Name < bestName) {
-			bestName, bestW = p.Name, p.Width
-		}
+	idx, ok := g.NodeIndex(pins[best].Name)
+	if !ok {
+		return 0, fmt.Errorf("chip pin %s missing from the CCG", pins[best].Name)
 	}
-	i, _ := g.NodeIndex(bestName)
-	return i
+	return idx, nil
 }
 
 func inputPortNames(c *soc.Core) []string {

@@ -8,6 +8,9 @@
 #   scripts/bench.sh -smoke      1x iterations; schema + diff machinery
 #                                exercised against the committed baseline
 #                                with a loose threshold, nothing written
+#   scripts/bench.sh -delta      delta-vs-full head-to-head on the
+#                                generated-chip ladder; prints both
+#                                series side by side, writes nothing
 #
 # Tunables (environment): BENCHTIME (full-run -benchtime, default 1s),
 # THRESHOLD (allowed fractional slowdown, default 0.30 full / 100 smoke).
@@ -17,6 +20,14 @@ cd "$(dirname "$0")/.."
 
 MODE=full
 [ "${1:-}" = "-smoke" ] && MODE=smoke
+[ "${1:-}" = "-delta" ] && MODE=delta
+
+if [ "$MODE" = delta ]; then
+    BT=${BENCHTIME:-1s}
+    echo "==> delta vs full on the generated-chip ladder (-benchtime $BT)"
+    go test -run '^$' -bench 'BenchmarkGeneratedChip(Full)?$' -benchmem -benchtime "$BT" .
+    exit 0
+fi
 
 REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 DATE=$(date -u +%Y-%m-%d)

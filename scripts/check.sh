@@ -19,6 +19,10 @@ go vet ./...
 echo "==> go test -race (parallel enumeration)"
 go test -race -run 'TestEnumerateParallel|TestCacheShared' ./internal/explore/
 
+echo "==> go test -race (delta-vs-full equivalence)"
+go test -race -count=1 -run 'TestDelta|TestMultiMatchesSingle|TestMultiDuplicate|TestMultiUnreachable|TestFinderReuse|TestCloneWithVersion|TestCacheRejects|TestCacheAccepts' \
+    ./internal/core/ ./internal/ccg/ ./internal/explore/
+
 echo "==> go test -race ./..."
 go test -race ./...
 
