@@ -8,6 +8,13 @@
 //	compare -table2 | -table3 (default: both tables)
 //	compare -timeout 30s      (partial Pareto front on expiry)
 //	compare -fault "cut:FROM->TO,..."  (degradation report per system)
+//	compare -campaign 100 -campaign-size 2 -campaign-seed 7
+//
+// -campaign runs a seeded random fault-injection campaign per system and
+// prints its report instead of the tables. Campaigns accept the shard
+// flags (-shards, -shard-index, -checkpoint, -resume): each shard owns a
+// deterministic slice of the fault sets and checkpoints completed runs,
+// and the merged report is identical to the single-process one.
 package main
 
 import (
@@ -16,12 +23,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/obs/obscli"
 	"repro/internal/report"
 	"repro/internal/resil"
+	"repro/internal/shard"
 	"repro/internal/soc"
 	"repro/internal/systems"
 )
@@ -38,8 +47,12 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock bound on each enumeration (0 = none); on expiry the partial Pareto front is printed instead of the tables")
 	fault := flag.String("fault", "", "inject faults (see socet -fault) and print each system's degradation report")
 	delta := flag.Bool("delta", true, "evaluate single-core-change candidates incrementally; results are bit-identical, -delta=false forces full evaluations")
+	campaign := flag.Int("campaign", 0, "run a random fault-injection campaign of `n` sets per system (instead of the tables)")
+	campaignSize := flag.Int("campaign-size", 2, "faults per campaign set")
+	campaignSeed := flag.Int64("campaign-seed", 1, "campaign fault-set seed")
 	obsCfg := obscli.AddFlags(flag.CommandLine)
 	obsCfg.AddProgressFlag(flag.CommandLine)
+	shardCfg := shard.AddFlags(flag.CommandLine)
 	flag.Parse()
 	sess, err := obsCfg.Start()
 	if err != nil {
@@ -58,6 +71,9 @@ func main() {
 	default:
 		log.Fatal("-system must be 0, 1 or 2")
 	}
+	if *campaign > 0 && shardCfg.Active() && len(chips) > 1 {
+		log.Fatal("sharded campaigns checkpoint per chip: pick -system 1 or -system 2")
+	}
 	both := !*t2only && !*t3only
 	for _, ch := range chips {
 		f, err := core.Prepare(ch, nil)
@@ -69,6 +85,10 @@ func main() {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 			defer cancel()
+		}
+		if *campaign > 0 {
+			runCampaign(ctx, f, shardCfg, *campaign, *campaignSize, *campaignSeed)
+			continue
 		}
 		points, err := explore.EnumerateCtx(ctx, f, explore.Options{Workers: *jobs, FullEval: !*delta})
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
@@ -101,6 +121,30 @@ func main() {
 			printTable3(t3)
 		}
 		printDegradation(f, *fault)
+	}
+}
+
+// runCampaign executes a seeded fault-injection campaign through the
+// crash-safe shard runner and prints its report. The report is the
+// deterministic merge of whatever shards ran; with every set complete it
+// is byte-identical to a single-process campaign, so golden diffs work
+// across any partitioning. Incomplete campaigns print what they have,
+// attribute the missing sets, and exit non-zero.
+func runCampaign(ctx context.Context, f *core.Flow, cfg *shard.Flags, n, size int, seed int64) {
+	c := &resil.Campaign{Flow: f, Runs: resil.RandomSets(f.Chip, n, size, seed), Seed: seed}
+	res, err := shard.RunCampaign(ctx, c, cfg.Options())
+	if res == nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Report.Format())
+	if err != nil || len(res.Incomplete) > 0 {
+		for _, r := range res.Incomplete {
+			log.Printf("missing fault sets [%d,%d)", r.Lo, r.Hi)
+		}
+		if err != nil {
+			log.Printf("campaign incomplete: %v", err)
+		}
+		os.Exit(1)
 	}
 }
 

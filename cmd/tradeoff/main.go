@@ -15,6 +15,16 @@
 // prefix of the design space. Live observability: -progress prints
 // one-line status updates, -obs-listen serves /metrics, /progress (SSE)
 // and /trace over HTTP while the enumeration runs.
+//
+// Long sweeps can be partitioned and made crash-safe (internal/shard):
+//
+//	tradeoff -gen -seed 7 -shards 8 -shard-index 3 -checkpoint /tmp/sweep -resume
+//
+// Each shard owns a deterministic slice of the selection space and
+// checkpoints its completed ranges; re-running with -resume skips
+// finished work, and -shard-index -1 runs (or, with complete
+// checkpoints, merely merges) every shard in one process. The printed
+// front is identical for any shard count.
 package main
 
 import (
@@ -23,11 +33,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/obs/obscli"
 	"repro/internal/report"
+	"repro/internal/shard"
 	"repro/internal/soc"
 	"repro/internal/socgen"
 	"repro/internal/systems"
@@ -48,6 +60,7 @@ func main() {
 	delta := flag.Bool("delta", true, "evaluate single-core-change candidates incrementally; results are bit-identical, -delta=false forces full evaluations")
 	obsCfg := obscli.AddFlags(flag.CommandLine)
 	obsCfg.AddProgressFlag(flag.CommandLine)
+	shardCfg := shard.AddFlags(flag.CommandLine)
 	flag.Parse()
 	sess, err := obsCfg.Start()
 	if err != nil {
@@ -68,6 +81,10 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+	if shardCfg.Active() {
+		runSharded(ctx, f, ch.Name, shardCfg, *jobs, *maxPoints, !*delta)
+		return
 	}
 	points, err := explore.EnumerateCtx(ctx, f, explore.Options{Workers: *jobs, MaxPoints: *maxPoints, FullEval: !*delta})
 	expired := errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
@@ -100,6 +117,40 @@ func main() {
 	fmt.Printf("%-58s %8s %9s %6s %6s\n", "Circuit description", "A.Ov.", "TApp.", "FCov.", "TEff.")
 	for _, r := range report.Table1(f, points) {
 		fmt.Printf("%-58s %8d %9d %5.1f%% %5.1f%%\n", r.Desc, r.AreaOv, r.TATime, r.FCov, r.TestEff)
+	}
+}
+
+// runSharded runs the enumeration through the crash-safe shard runner.
+// Complete runs print the canonical Pareto front — byte-identical for
+// any shard count, so golden diffs work across partitionings. A run
+// that could not finish (timeout, or a shard out of retries) prints
+// what it has, attributes the missing ranges, and exits non-zero.
+func runSharded(ctx context.Context, f *core.Flow, chip string, cfg *shard.Flags, jobs, maxPoints int, fullEval bool) {
+	opts := cfg.Options()
+	opts.Workers = jobs
+	opts.MaxPoints = maxPoints
+	opts.FullEval = fullEval
+	res, err := shard.RunExplore(ctx, f, opts)
+	if res == nil {
+		log.Fatal(err)
+	}
+	complete := err == nil && len(res.Incomplete) == 0
+	if complete {
+		fmt.Printf("Sharded sweep: %s, Pareto front over %d selections\n\n", chip, res.Total)
+	} else {
+		fmt.Printf("Sharded sweep: %s, PARTIAL Pareto front over %d/%d selections\n\n", chip, res.Done, res.Total)
+	}
+	for _, p := range res.Front {
+		fmt.Printf("%-40s %6d cells  %7d cycles\n", p.Label(), p.Cells, p.TAT)
+	}
+	if !complete {
+		for _, r := range res.Incomplete {
+			log.Printf("missing selections [%d,%d)", r.Lo, r.Hi)
+		}
+		if err != nil {
+			log.Printf("sharded sweep incomplete: %v", err)
+		}
+		os.Exit(1)
 	}
 }
 

@@ -78,6 +78,25 @@ type Options struct {
 	// bit-identical to full ones (proptest gates that), so this exists
 	// for measurement and as an escape hatch, not for correctness.
 	FullEval bool
+	// First offsets the enumeration: generation starts at global index
+	// First of the (MaxPoints-capped) enumeration order instead of 0.
+	// The mixed-radix odometer is fast-forwarded, so a deep window costs
+	// O(window), not O(First + window). Out-of-range values clamp.
+	First int
+	// Count limits how many selections are generated from First (<= 0
+	// means through the end of the capped space). First/Count windows of
+	// one enumeration tile it exactly: the concatenation of [0,k), [k,m),
+	// [m,total) is the full enumeration — the shard partitioning contract.
+	Count int
+	// Skip, when non-nil, drops individual global indices from the window
+	// without evaluating them (checkpoint resume: work finished by an
+	// earlier attempt). Skipped indices appear in neither the returned
+	// points nor Observer calls.
+	Skip func(globalIndex int) bool
+	// Observer, when non-nil, is called once per completed evaluation with
+	// the point's global enumeration index, before EnumerateCtx returns.
+	// It may be called concurrently from worker goroutines.
+	Observer func(globalIndex int, p Point)
 }
 
 // defaultCache gives the explorer a private cache when the caller passed
@@ -202,19 +221,39 @@ func (c *Cache) Len() int {
 // 256-core chip with a capped enumeration neither overflows nor tries to
 // materialize |versions|^n maps.
 func allSelections(cores []*soc.Core, max int) []map[string]int {
-	total := selectionCount(cores, max)
-	if total == 0 {
+	return selectionsAt(cores, 0, selectionCount(cores, max))
+}
+
+// selectionsAt lists the count combinations starting at global index
+// start of the fixed enumeration order. start is decomposed into
+// mixed-radix odometer digits (first core most significant), so a window
+// deep in the space costs O(count). The caller bounds start+count by
+// selectionCount; generation also stops at the odometer's natural end.
+func selectionsAt(cores []*soc.Core, start, count int) []map[string]int {
+	if count <= 0 {
 		return nil
 	}
-	out := make([]map[string]int, 0, total)
 	idx := make([]int, len(cores))
+	rem := start
+	for i := len(cores) - 1; i >= 0; i-- {
+		n := len(cores[i].Versions)
+		if n == 0 {
+			return nil
+		}
+		idx[i] = rem % n
+		rem /= n
+	}
+	if rem > 0 {
+		return nil // start beyond the end of the space
+	}
+	out := make([]map[string]int, 0, count)
 	for {
 		sel := make(map[string]int, len(cores))
 		for i, c := range cores {
 			sel[c.Name] = idx[i]
 		}
 		out = append(out, sel)
-		if len(out) == total {
+		if len(out) == count {
 			break
 		}
 		k := len(cores) - 1
@@ -231,6 +270,13 @@ func allSelections(cores []*soc.Core, max int) []map[string]int {
 		}
 	}
 	return out
+}
+
+// SelectionSpace reports how many design points the flow's enumeration
+// covers under a MaxPoints cap (<= 0 means uncapped) — the global index
+// space that Options.First/Count windows partition.
+func SelectionSpace(f *core.Flow, maxPoints int) int {
+	return selectionCount(f.Chip.TestableCores(), maxPoints)
 }
 
 // selectionCount returns min(product of ladder lengths, max) without
@@ -282,7 +328,20 @@ func EnumerateCtx(ctx context.Context, f *core.Flow, o Options) ([]Point, error)
 	defer sp.End()
 	o.defaultCache()
 	cPoints := obs.C("explore.points_evaluated")
-	sels := allSelections(f.Chip.TestableCores(), o.MaxPoints)
+	cores := f.Chip.TestableCores()
+	space := selectionCount(cores, o.MaxPoints)
+	first := o.First
+	if first < 0 {
+		first = 0
+	}
+	if first > space {
+		first = space
+	}
+	count := space - first
+	if o.Count > 0 && o.Count < count {
+		count = o.Count
+	}
+	sels := selectionsAt(cores, first, count)
 	prog := progress.Start("explore/enumerate", int64(len(sels)),
 		"explore.points_evaluated", "explore.cache_hits", "explore.cache_misses")
 	defer prog.End()
@@ -306,6 +365,11 @@ func EnumerateCtx(ctx context.Context, f *core.Flow, o Options) ([]Point, error)
 				err = fmt.Errorf("explore: evaluating %v panicked: %v\n%s", sels[i], r, debug.Stack())
 			}
 		}()
+		gi := first + i
+		if o.Skip != nil && o.Skip(gi) {
+			prog.Step(1)
+			return nil
+		}
 		e, err := o.Cache.EvaluateCtx(ctx, f, sels[i])
 		if err != nil {
 			return err
@@ -319,16 +383,19 @@ func EnumerateCtx(ctx context.Context, f *core.Flow, o Options) ([]Point, error)
 		done[i] = true
 		cPoints.Inc()
 		prog.Step(1)
+		if o.Observer != nil {
+			o.Observer(gi, points[i])
+		}
 		return nil
 	}
-	var first error
+	var firstErr error
 	if workers == 1 {
 		for i := range sels {
 			if ctx.Err() != nil {
 				break
 			}
 			if err := evalAt(i); err != nil {
-				first = err
+				firstErr = err
 				break
 			}
 		}
@@ -356,8 +423,8 @@ func EnumerateCtx(ctx context.Context, f *core.Flow, o Options) ([]Point, error)
 					}
 					if err := evalAt(i); err != nil {
 						errMu.Lock()
-						if first == nil {
-							first = err
+						if firstErr == nil {
+							firstErr = err
 						}
 						errMu.Unlock()
 						failed.Store(true)
@@ -372,10 +439,11 @@ func EnumerateCtx(ctx context.Context, f *core.Flow, o Options) ([]Point, error)
 		obs.C("explore.cancelled").Inc()
 		return sortPoints(gather(points, done)), cerr
 	}
-	if first != nil {
-		return nil, first
+	if firstErr != nil {
+		return nil, firstErr
 	}
-	return sortPoints(points), nil
+	// Skipped indices left holes; gather is a no-op copy when none were.
+	return sortPoints(gather(points, done)), nil
 }
 
 // gather keeps the completed points in selection order.

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -518,5 +519,114 @@ func TestSelectionCountOverflowSafe(t *testing.T) {
 	}
 	if got := selectionCount(nil, 10); got != 1 {
 		t.Fatalf("no-core count = %d, want 1", got)
+	}
+}
+
+// TestEnumerateWindowUnionMatchesFull splits the selection space into
+// contiguous windows with First/Count and checks the union reproduces
+// the full enumeration exactly — the property sharded sweeps rest on.
+func TestEnumerateWindowUnionMatchesFull(t *testing.T) {
+	f := flow(t)
+	full, err := Enumerate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := SelectionSpace(f, 0)
+	if space != len(full) {
+		t.Fatalf("SelectionSpace = %d, enumeration has %d points", space, len(full))
+	}
+	wantByLabel := map[string]Point{}
+	for _, p := range full {
+		wantByLabel[p.Label()] = p
+	}
+	for _, parts := range []int{2, 3, 5} {
+		got := map[string]Point{}
+		for i := 0; i < parts; i++ {
+			lo := i * space / parts
+			hi := (i + 1) * space / parts
+			pts, err := EnumerateOpts(f, Options{First: lo, Count: hi - lo, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pts) != hi-lo {
+				t.Fatalf("window [%d,%d): %d points", lo, hi, len(pts))
+			}
+			for _, p := range pts {
+				if _, dup := got[p.Label()]; dup {
+					t.Fatalf("windows overlap at %s", p.Label())
+				}
+				got[p.Label()] = p
+			}
+		}
+		if len(got) != len(wantByLabel) {
+			t.Fatalf("%d windows: union has %d points, want %d", parts, len(got), len(wantByLabel))
+		}
+		for label, w := range wantByLabel {
+			g := got[label]
+			if g.TAT != w.TAT || g.ChipCells != w.ChipCells {
+				t.Fatalf("%d windows: point %s diverged (%d/%d vs %d/%d)",
+					parts, label, g.ChipCells, g.TAT, w.ChipCells, w.TAT)
+			}
+		}
+	}
+}
+
+// TestEnumerateWindowBounds: windows clamp to the space; a window
+// starting beyond it is empty, not an error.
+func TestEnumerateWindowBounds(t *testing.T) {
+	f := flow(t)
+	space := SelectionSpace(f, 0)
+	pts, err := EnumerateOpts(f, Options{First: space + 10, Count: 5})
+	if err != nil || len(pts) != 0 {
+		t.Fatalf("beyond-space window: %d points, err %v", len(pts), err)
+	}
+	pts, err = EnumerateOpts(f, Options{First: space - 2, Count: 100})
+	if err != nil || len(pts) != 2 {
+		t.Fatalf("overhanging window: %d points, err %v", len(pts), err)
+	}
+	// Count <= 0 means "to the end".
+	pts, err = EnumerateOpts(f, Options{First: space - 3})
+	if err != nil || len(pts) != 3 {
+		t.Fatalf("open-ended window: %d points, err %v", len(pts), err)
+	}
+}
+
+// TestEnumerateSkipAndObserver: Skip removes indices from evaluation and
+// output; Observer sees every evaluated point with its global index.
+func TestEnumerateSkipAndObserver(t *testing.T) {
+	f := flow(t)
+	space := SelectionSpace(f, 0)
+	var mu sync.Mutex
+	seen := map[int]string{}
+	pts, err := EnumerateOpts(f, Options{
+		Skip: func(gi int) bool { return gi%2 == 1 },
+		Observer: func(gi int, p Point) {
+			mu.Lock()
+			seen[gi] = p.Label()
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantN := (space + 1) / 2
+	if len(pts) != wantN || len(seen) != wantN {
+		t.Fatalf("skip-odd run: %d points, %d observed, want %d", len(pts), len(seen), wantN)
+	}
+	for gi := range seen {
+		if gi%2 == 1 {
+			t.Fatalf("observer saw skipped index %d", gi)
+		}
+	}
+	// Spot-check attribution: each observed label must be the selection a
+	// one-point window at that global index evaluates.
+	for _, gi := range []int{0, 2, (space - 1) / 2 * 2} {
+		one, err := EnumerateOpts(f, Options{First: gi, Count: 1, Workers: 1})
+		if err != nil || len(one) != 1 {
+			t.Fatalf("window [%d,%d): %d points, err %v", gi, gi+1, len(one), err)
+		}
+		if seen[gi] != one[0].Label() {
+			t.Fatalf("index %d observed as %s, window says %s", gi, seen[gi], one[0].Label())
+		}
 	}
 }

@@ -53,6 +53,10 @@ var KnownCounters = []string{
 	"sched.cores_skipped",              // cores dropped by partial scheduling
 	"sched.ports_unreachable",          // ports with no justification/propagation path
 	"sched.test_muxes_added",           // test muxes inserted by the scheduler
+	"shard.checkpoints_written",        // shard checkpoint frames persisted (temp+rename)
+	"shard.frames_discarded",           // corrupt/torn checkpoint byte regions skipped on load
+	"shard.resumed_ranges",             // completed work ranges loaded from checkpoints on resume
+	"shard.retries",                    // shard attempts retried after a transient failure
 	"trans.versions_built",             // transparency versions constructed
 }
 

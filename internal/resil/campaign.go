@@ -2,7 +2,10 @@ package resil
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -24,23 +27,56 @@ type Outcome struct {
 type Campaign struct {
 	Flow *core.Flow
 	Runs [][]Fault
+	// Seed attributes the fault sets (the RandomSets seed, typically); it
+	// rides along in every RunRecord so a merged or resumed report keeps
+	// saying where its sets came from.
+	Seed int64
+	// Indices, when non-nil, restricts Execute to these run indices (in
+	// the given order; out-of-range entries are skipped). Outcome.Index
+	// stays the global index into Runs, so a resumed or sharded campaign
+	// reports the same attribution as a full one. Nil means every run.
+	Indices []int
+	// OnOutcome, when non-nil, is called after each completed run — the
+	// hook checkpointing campaign runners use to persist completion as it
+	// happens instead of only at the end.
+	OnOutcome func(Outcome)
 }
 
-// Execute runs every fault set in order: clone the chip, inject, fork the
-// flow, evaluate degraded. Cancellation between runs (and inside each
-// evaluation) returns the outcomes so far with ctx.Err(). Per-run flow
-// errors do not stop the campaign; they land in the run's Outcome.
+// runIndices resolves Indices against Runs.
+func (c *Campaign) runIndices() []int {
+	if c.Indices == nil {
+		out := make([]int, len(c.Runs))
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, 0, len(c.Indices))
+	for _, i := range c.Indices {
+		if i >= 0 && i < len(c.Runs) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Execute runs every selected fault set in order: clone the chip, inject,
+// fork the flow, evaluate degraded. Cancellation between runs (and inside
+// each evaluation) returns the outcomes so far with ctx.Err(). Per-run
+// flow errors do not stop the campaign; they land in the run's Outcome.
 func (c *Campaign) Execute(ctx context.Context) ([]Outcome, error) {
 	root := obs.Start(nil, "resil/campaign")
 	defer root.End()
-	prog := progress.Start("resil/campaign", int64(len(c.Runs)),
+	idxs := c.runIndices()
+	prog := progress.Start("resil/campaign", int64(len(idxs)),
 		"resil.faults_injected", "resil.run_errors")
 	defer prog.End()
-	out := make([]Outcome, 0, len(c.Runs))
-	for i, faults := range c.Runs {
+	out := make([]Outcome, 0, len(idxs))
+	for _, i := range idxs {
 		if err := ctx.Err(); err != nil {
 			return out, err
 		}
+		faults := c.Runs[i]
 		o := Outcome{Index: i, Faults: faults}
 		sp := obs.Start(root, "resil/run")
 		ch, err := Inject(c.Flow.Chip, faults...)
@@ -59,8 +95,173 @@ func (c *Campaign) Execute(ctx context.Context) ([]Outcome, error) {
 		obs.C("resil.runs").Inc()
 		prog.Step(1)
 		out = append(out, o)
+		if c.OnOutcome != nil {
+			c.OnOutcome(o)
+		}
 	}
 	return out, nil
+}
+
+// RunRecord is the compact, serializable completion record of one fault
+// set: which set ran (seed/index attribution), whether it completed, and
+// the degraded bottom line. Two runs of the same set — in any process, in
+// any order — produce identical records, which is what makes sharded and
+// resumed campaign reports mergeable bit-identically.
+type RunRecord struct {
+	Index          int      `json:"index"`
+	Seed           int64    `json:"seed,omitempty"`
+	Faults         string   `json:"faults"`
+	Completed      bool     `json:"completed"`
+	Err            string   `json:"err,omitempty"`
+	TAT            int      `json:"tat,omitempty"`
+	Coverage       float64  `json:"coverage,omitempty"`
+	VectorsCovered int      `json:"vectors_covered,omitempty"`
+	VectorsTotal   int      `json:"vectors_total,omitempty"`
+	Untestable     []string `json:"untestable,omitempty"`
+}
+
+// Record compresses an outcome into its run record.
+func (c *Campaign) Record(o Outcome) RunRecord {
+	r := RunRecord{
+		Index:     o.Index,
+		Seed:      c.Seed,
+		Faults:    FaultSetString(o.Faults),
+		Completed: true,
+	}
+	if o.Err != nil {
+		r.Err = o.Err.Error()
+	}
+	if o.Eval != nil {
+		r.TAT = o.Eval.TAT
+		if rep := o.Eval.Report; rep != nil {
+			r.Coverage = rep.Coverage
+			r.VectorsCovered = rep.VectorsCovered
+			r.VectorsTotal = rep.VectorsTotal
+			r.Untestable = rep.Untestable()
+		}
+	}
+	return r
+}
+
+// Report is the structured outcome of a campaign: one record per fault
+// set that ran, in index order, plus how many sets the campaign holds in
+// total. A cancelled or sharded campaign yields a partial report whose
+// Missing indices are exactly the sets still to run — the resume contract.
+type Report struct {
+	Chip    string      `json:"chip"`
+	Seed    int64       `json:"seed,omitempty"`
+	Total   int         `json:"total"`
+	Records []RunRecord `json:"records"`
+}
+
+// Report builds the campaign report from the outcomes Execute returned.
+// Every outcome — including errored runs — counts as completed: the error
+// is its deterministic result, not missing work.
+func (c *Campaign) Report(outs []Outcome) *Report {
+	r := &Report{Chip: c.Flow.Chip.Name, Seed: c.Seed, Total: len(c.Runs)}
+	for _, o := range outs {
+		r.Records = append(r.Records, c.Record(o))
+	}
+	sort.Slice(r.Records, func(i, j int) bool { return r.Records[i].Index < r.Records[j].Index })
+	return r
+}
+
+// Missing lists the run indices with no completed record, ascending — the
+// Indices a resumed campaign should execute.
+func (r *Report) Missing() []int {
+	have := make(map[int]bool, len(r.Records))
+	for _, rec := range r.Records {
+		if rec.Completed {
+			have[rec.Index] = true
+		}
+	}
+	var out []int
+	for i := 0; i < r.Total; i++ {
+		if !have[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MergeReports combines partial campaign reports (shards, resumed runs)
+// into one. Records are united by index — identical duplicates collapse,
+// a completed record wins over an incomplete one — and sorted, so any
+// partition of a campaign merges to the report the single-process run
+// produces.
+func MergeReports(parts ...*Report) *Report {
+	out := &Report{}
+	byIndex := map[int]RunRecord{}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if out.Chip == "" {
+			out.Chip = p.Chip
+		}
+		if out.Seed == 0 {
+			out.Seed = p.Seed
+		}
+		if p.Total > out.Total {
+			out.Total = p.Total
+		}
+		for _, rec := range p.Records {
+			if prev, ok := byIndex[rec.Index]; ok && prev.Completed && !rec.Completed {
+				continue
+			}
+			byIndex[rec.Index] = rec
+		}
+	}
+	for _, rec := range byIndex {
+		out.Records = append(out.Records, rec)
+	}
+	sort.Slice(out.Records, func(i, j int) bool { return out.Records[i].Index < out.Records[j].Index })
+	return out
+}
+
+// Format renders the report deterministically for command-line output:
+// aggregate line first, then one line per completed set in index order.
+func (r *Report) Format() string {
+	var b strings.Builder
+	completed, errors := 0, 0
+	minCov, sumCov := 1.0, 0.0
+	for _, rec := range r.Records {
+		if !rec.Completed {
+			continue
+		}
+		completed++
+		if rec.Err != "" {
+			errors++
+		}
+		sumCov += rec.Coverage
+		if rec.Coverage < minCov {
+			minCov = rec.Coverage
+		}
+	}
+	mean := 0.0
+	if completed > 0 {
+		mean = sumCov / float64(completed)
+	} else {
+		minCov = 0
+	}
+	fmt.Fprintf(&b, "campaign report (%s, seed %d): %d/%d sets complete, %d errors, coverage mean %.1f%% min %.1f%%\n",
+		r.Chip, r.Seed, completed, r.Total, errors, 100*mean, 100*minCov)
+	for _, rec := range r.Records {
+		if !rec.Completed {
+			continue
+		}
+		if rec.Err != "" {
+			fmt.Fprintf(&b, "  set %4d [%s]: ERROR %s\n", rec.Index, rec.Faults, rec.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "  set %4d [%s]: TApp %d, coverage %.1f%% (%d/%d)", rec.Index, rec.Faults,
+			rec.TAT, 100*rec.Coverage, rec.VectorsCovered, rec.VectorsTotal)
+		if len(rec.Untestable) > 0 {
+			fmt.Fprintf(&b, ", untestable: %s", strings.Join(rec.Untestable, ","))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
 }
 
 // SingleEdgeCuts enumerates one CutEdge fault set per interconnect net, in

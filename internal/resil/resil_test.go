@@ -281,3 +281,94 @@ func TestSeededCampaign25(t *testing.T) {
 		}
 	}
 }
+
+// TestCampaignReportMergeAndMissing: a report split across partial
+// executions merges bit-identically to the full run's report, and a
+// partial report's Missing lists exactly the unrun sets.
+func TestCampaignReportMergeAndMissing(t *testing.T) {
+	f := system1(t)
+	const seed = 11
+	c := &Campaign{Flow: f, Runs: RandomSets(f.Chip, 5, 2, seed), Seed: seed}
+	outs, err := c.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := c.Report(outs)
+	if full.Total != 5 || len(full.Records) != 5 || len(full.Missing()) != 0 {
+		t.Fatalf("full report malformed: total=%d records=%d missing=%v",
+			full.Total, len(full.Records), full.Missing())
+	}
+	if full.Chip != f.Chip.Name || full.Seed != seed {
+		t.Fatalf("attribution lost: chip=%q seed=%d", full.Chip, full.Seed)
+	}
+
+	// Partial report: only sets 0 and 3 ran.
+	part := c.Report([]Outcome{outs[0], outs[3]})
+	if got, want := part.Missing(), []int{1, 2, 4}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Missing = %v, want %v", got, want)
+	}
+
+	// Any split of the outcomes merges back to the full report — order of
+	// parts and of outcomes inside a part must not matter.
+	splits := [][2][]Outcome{
+		{{outs[0], outs[1]}, {outs[2], outs[3], outs[4]}},
+		{{outs[4], outs[2]}, {outs[1], outs[3], outs[0]}},
+		{{}, outs},
+	}
+	for i, s := range splits {
+		got := MergeReports(c.Report(s[0]), c.Report(s[1]))
+		if !reflect.DeepEqual(got, full) {
+			t.Fatalf("split %d: merged report differs:\n got %+v\nwant %+v", i, got, full)
+		}
+		if got.Format() != full.Format() {
+			t.Fatalf("split %d: formatted output differs", i)
+		}
+	}
+
+	// Duplicated records collapse; merging with the full report is a no-op.
+	if got := MergeReports(full, part, full); !reflect.DeepEqual(got, full) {
+		t.Fatalf("idempotent merge failed: %+v", got)
+	}
+}
+
+// TestCampaignIndicesRestrictExecution: Indices runs exactly the chosen
+// sets, preserves global index attribution, and skips out-of-range ones.
+func TestCampaignIndicesRestrictExecution(t *testing.T) {
+	f := system1(t)
+	c := &Campaign{Flow: f, Runs: RandomSets(f.Chip, 4, 2, 3), Seed: 3}
+	sub := *c
+	sub.Indices = []int{3, 1, 99, -1}
+	outs, err := sub.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 || outs[0].Index != 3 || outs[1].Index != 1 {
+		t.Fatalf("indices run: %+v", outs)
+	}
+	// The records must equal the same sets from an unrestricted run.
+	all, err := c.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []RunRecord{c.Record(all[3]), c.Record(all[1])} {
+		if got := c.Record(outs[i]); !reflect.DeepEqual(got, want) {
+			t.Fatalf("record %d differs:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+// TestCampaignOnOutcomeHook: the hook fires once per completed run, in
+// execution order, with the outcome Execute appends.
+func TestCampaignOnOutcomeHook(t *testing.T) {
+	f := system1(t)
+	c := &Campaign{Flow: f, Runs: RandomSets(f.Chip, 3, 1, 5)}
+	var hooked []int
+	c.OnOutcome = func(o Outcome) { hooked = append(hooked, o.Index) }
+	outs, err := c.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 3 || !reflect.DeepEqual(hooked, []int{0, 1, 2}) {
+		t.Fatalf("hook saw %v over %d outcomes", hooked, len(outs))
+	}
+}

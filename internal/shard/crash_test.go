@@ -1,0 +1,262 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/resil"
+)
+
+// The crash harness re-execs this test binary as a shard worker and
+// SIGKILLs it mid-flight at seeded delays, then resumes in-process and
+// asserts the merged result is bit-identical to the single-process run.
+// The helper tests below only act when SHARD_CRASH_HELPER selects them;
+// in a normal test run they are skipped.
+
+const (
+	crashHelperEnv   = "SHARD_CRASH_HELPER"
+	crashPrefixEnv   = "SHARD_CRASH_PREFIX"
+	crashExploreFlag = "explore"
+	crashCampaignFlg = "campaign"
+)
+
+// crashFlow is the fixed workload both the helper process and the
+// parent build independently — it must be deterministic across
+// processes, and big enough (seed 9, 12 cores: 1536 selections) that a
+// shard is reliably mid-flight when the SIGKILL lands.
+func crashFlow(t testing.TB) *core.Flow {
+	return generatedFlow(t, 9, 12)
+}
+
+func crashCampaign(t testing.TB) *resil.Campaign {
+	f := campaignFlow(t)
+	const seed = 13
+	return &resil.Campaign{Flow: f, Runs: resil.RandomSets(f.Chip, 12, 2, seed), Seed: seed}
+}
+
+const crashMaxPoints = 600
+
+// TestCrashHelper is the worker body, not a test: it runs shard 1 of 2
+// with aggressive checkpointing until the parent SIGKILLs it.
+func TestCrashHelper(t *testing.T) {
+	mode := os.Getenv(crashHelperEnv)
+	if mode == "" {
+		t.Skip("crash-harness helper; driven by TestCrashResume*")
+	}
+	prefix := os.Getenv(crashPrefixEnv)
+	opts := Options{
+		Shards: 2, Index: 1, Checkpoint: prefix, Resume: true,
+		Every: time.Millisecond, MaxPoints: crashMaxPoints,
+	}
+	var err error
+	switch mode {
+	case crashExploreFlag:
+		_, err = RunExplore(context.Background(), crashFlow(t), opts)
+	case crashCampaignFlg:
+		_, err = RunCampaign(context.Background(), crashCampaign(t), opts)
+	default:
+		t.Fatalf("unknown helper mode %q", mode)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// spawnAndKill launches the helper in the given mode and SIGKILLs it
+// after the delay. Returns whether the helper was killed (as opposed to
+// finishing first — also a valid outcome for long delays).
+func spawnAndKill(t *testing.T, mode, prefix string, delay time.Duration) bool {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestCrashHelper$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		crashHelperEnv+"="+mode,
+		crashPrefixEnv+"="+prefix,
+	)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case <-time.After(delay):
+		if err := cmd.Process.Kill(); err != nil { // SIGKILL: no cleanup, no final flush
+			t.Fatalf("kill: %v", err)
+		}
+		<-done
+		return true
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("helper finished with error before kill: %v", err)
+		}
+		return false
+	}
+}
+
+// TestCrashResumeExplore SIGKILLs an exploring shard at several points in
+// its life — before first checkpoint, mid-flight, near completion — and
+// asserts each resume converges to the single-process Pareto front.
+func TestCrashResumeExplore(t *testing.T) {
+	if os.Getenv(crashHelperEnv) != "" {
+		t.Skip("inside helper process")
+	}
+	f := crashFlow(t)
+	want := singleProcessFront(t, f, crashMaxPoints)
+	for _, delay := range []time.Duration{5 * time.Millisecond, 30 * time.Millisecond, 150 * time.Millisecond} {
+		t.Run(fmt.Sprint(delay), func(t *testing.T) {
+			prefix := filepath.Join(t.TempDir(), "ck")
+			killed := spawnAndKill(t, crashExploreFlag, prefix, delay)
+			t.Logf("helper killed=%v", killed)
+			// Whatever the kill left on disk — nothing, a partial file, a
+			// torn tail — resume must converge without error.
+			res, err := RunExplore(context.Background(), f, Options{
+				Shards: 2, Index: All, Checkpoint: prefix, Resume: true,
+				Every: time.Millisecond, MaxPoints: crashMaxPoints,
+			})
+			if err != nil {
+				t.Fatalf("resume after SIGKILL: %v", err)
+			}
+			if !reflect.DeepEqual(res.Front, want) {
+				t.Fatalf("resumed front differs from single-process:\n got %v\nwant %v", res.Front, want)
+			}
+			if res.Done != res.Total || len(res.Incomplete) != 0 {
+				t.Fatalf("resume left work: done=%d/%d incomplete=%v", res.Done, res.Total, res.Incomplete)
+			}
+		})
+	}
+}
+
+// spawnAndKillOnCheckpoint launches the helper and SIGKILLs it the
+// moment its first checkpoint frame lands on disk, so the kill is
+// guaranteed mid-flight with real partial state behind it. Returns the
+// shard's checkpoint path.
+func spawnAndKillOnCheckpoint(t *testing.T, mode, prefix string) string {
+	t.Helper()
+	ckPath := CheckpointPath(prefix, 1, 2)
+	cmd := exec.Command(os.Args[0], "-test.run=^TestCrashHelper$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		crashHelperEnv+"="+mode,
+		crashPrefixEnv+"="+prefix,
+	)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	deadline := time.After(60 * time.Second)
+	for {
+		if fi, err := os.Stat(ckPath); err == nil && fi.Size() > 0 {
+			cmd.Process.Kill()
+			<-done
+			return ckPath
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("helper exited before checkpointing: %v", err)
+			}
+			return ckPath // finished cleanly first; resume still must converge
+		case <-deadline:
+			cmd.Process.Kill()
+			<-done
+			t.Fatal("helper never wrote a checkpoint")
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+}
+
+// TestCrashResumeExploreKillOnFirstCheckpoint forces a genuinely
+// mid-flight kill: it polls for the shard's checkpoint file and SIGKILLs
+// the helper the moment the first frame lands on disk, so resume starts
+// from a real partial checkpoint (not an empty directory).
+func TestCrashResumeExploreKillOnFirstCheckpoint(t *testing.T) {
+	if os.Getenv(crashHelperEnv) != "" {
+		t.Skip("inside helper process")
+	}
+	f := crashFlow(t)
+	want := singleProcessFront(t, f, crashMaxPoints)
+	prefix := filepath.Join(t.TempDir(), "ck")
+	ckPath := spawnAndKillOnCheckpoint(t, crashExploreFlag, prefix)
+	st, err := Load(ckPath)
+	if err != nil {
+		t.Fatalf("checkpoint unreadable after SIGKILL: %v", err)
+	}
+	if st == nil {
+		t.Fatal("no recoverable frame in checkpoint")
+	}
+	t.Logf("killed with %d/%d indices checkpointed", countRanges(st.Done), st.Window.Len())
+	res, err := RunExplore(context.Background(), f, Options{
+		Shards: 2, Index: All, Checkpoint: prefix, Resume: true,
+		Every: time.Millisecond, MaxPoints: crashMaxPoints,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Front, want) {
+		t.Fatalf("resumed front differs from single-process:\n got %v\nwant %v", res.Front, want)
+	}
+}
+
+// TestCrashResumeExploreRepeatedKills kills the same shard twice in a
+// row before letting the resume finish — checkpoints must stack.
+func TestCrashResumeExploreRepeatedKills(t *testing.T) {
+	if os.Getenv(crashHelperEnv) != "" {
+		t.Skip("inside helper process")
+	}
+	f := crashFlow(t)
+	want := singleProcessFront(t, f, crashMaxPoints)
+	prefix := filepath.Join(t.TempDir(), "ck")
+	spawnAndKill(t, crashExploreFlag, prefix, 20*time.Millisecond)
+	spawnAndKill(t, crashExploreFlag, prefix, 20*time.Millisecond)
+	res, err := RunExplore(context.Background(), f, Options{
+		Shards: 2, Index: All, Checkpoint: prefix, Resume: true,
+		Every: time.Millisecond, MaxPoints: crashMaxPoints,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Front, want) {
+		t.Fatal("front after repeated kills differs from single-process")
+	}
+}
+
+// TestCrashResumeCampaign is the campaign-side crash gate: SIGKILL a
+// campaign shard mid-flight, resume, and require the merged report to be
+// bit-identical to the single-process Execute+Report.
+func TestCrashResumeCampaign(t *testing.T) {
+	if os.Getenv(crashHelperEnv) != "" {
+		t.Skip("inside helper process")
+	}
+	c := crashCampaign(t)
+	outs, err := c.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.Report(outs)
+	prefix := filepath.Join(t.TempDir(), "ck")
+	ckPath := spawnAndKillOnCheckpoint(t, crashCampaignFlg, prefix)
+	st, err := Load(ckPath)
+	if err != nil {
+		t.Fatalf("checkpoint unreadable after SIGKILL: %v", err)
+	}
+	if st == nil {
+		t.Fatal("no recoverable frame in checkpoint")
+	}
+	t.Logf("killed with %d/%d sets checkpointed", countRanges(st.Done), st.Window.Len())
+	res, err := RunCampaign(context.Background(), c, Options{
+		Shards: 2, Index: All, Checkpoint: prefix, Resume: true,
+		Every: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("resume after SIGKILL: %v", err)
+	}
+	if !reflect.DeepEqual(res.Report, want) {
+		t.Fatalf("resumed campaign report differs:\n got %+v\nwant %+v", res.Report, want)
+	}
+}

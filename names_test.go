@@ -20,6 +20,7 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/explore"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/obs/progress"
 	"repro/internal/proptest"
 	"repro/internal/resil"
+	"repro/internal/shard"
 	"repro/internal/systems"
 )
 
@@ -117,6 +119,16 @@ func TestMetricSnapshotNamesRegistered(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// A small sharded sweep with checkpointing, so the shard.* family
+	// shows up in the snapshot.
+	if _, err := shard.RunExplore(context.Background(), f, shard.Options{
+		Shards: 2, Index: shard.All,
+		Checkpoint: filepath.Join(t.TempDir(), "ck"),
+		Every:      time.Millisecond, MaxPoints: 6,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
 	srv, err := obshttp.Serve(context.Background(), "127.0.0.1:0", obshttp.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -152,7 +164,8 @@ func TestMetricSnapshotNamesRegistered(t *testing.T) {
 		"atpg.vectors", "ccg.builds", "core.evaluations",
 		"explore.points_evaluated", "explore.moves_proposed",
 		"obshttp.requests", "proptest.paths_replayed",
-		"resil.runs", "sched.cores_scheduled", "trans.versions_built",
+		"resil.runs", "sched.cores_scheduled",
+		"shard.checkpoints_written", "trans.versions_built",
 	} {
 		if cs[want] == 0 {
 			t.Errorf("end-to-end flow never incremented %q", want)

@@ -32,6 +32,12 @@ go test -fuzz=FuzzValidate -fuzztime=10s -run '^$' ./internal/rtl/
 echo "==> go test -fuzz=FuzzParseFaults (10s smoke)"
 go test -fuzz=FuzzParseFaults -fuzztime=10s -run '^$' ./internal/resil/
 
+echo "==> go test -fuzz=FuzzCheckpointDecode (10s smoke)"
+go test -fuzz=FuzzCheckpointDecode -fuzztime=10s -run '^$' ./internal/shard/
+
+echo "==> crash-resume smoke (scripts/crashsmoke.sh)"
+sh scripts/crashsmoke.sh
+
 echo "==> bench trajectory smoke (scripts/bench.sh -smoke)"
 sh scripts/bench.sh -smoke
 
