@@ -27,12 +27,11 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/explore"
+	"repro/internal/flowcmd"
 	"repro/internal/obs/obscli"
 	"repro/internal/report"
 	"repro/internal/resil"
 	"repro/internal/shard"
-	"repro/internal/soc"
-	"repro/internal/systems"
 )
 
 func main() {
@@ -60,16 +59,9 @@ func main() {
 	}
 	defer sess.Close()
 
-	var chips []*soc.Chip
-	switch *system {
-	case 0:
-		chips = []*soc.Chip{systems.System1(), systems.System2()}
-	case 1:
-		chips = []*soc.Chip{systems.System1()}
-	case 2:
-		chips = []*soc.Chip{systems.System2()}
-	default:
-		log.Fatal("-system must be 0, 1 or 2")
+	chips, err := flowcmd.Systems(*system)
+	if err != nil {
+		log.Fatal(err)
 	}
 	if *campaign > 0 && shardCfg.Active() && len(chips) > 1 {
 		log.Fatal("sharded campaigns checkpoint per chip: pick -system 1 or -system 2")

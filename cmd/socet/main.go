@@ -6,6 +6,7 @@
 // Usage:
 //
 //	socet [-system 1|2] [-objective area|tat|none] [-budget N] [-v]
+//	      [-timeout 30s]
 //	      [-fault "cut:FROM->TO,opaque:CORE,slow:CORE:K,noscan:CORE"]
 //	      [-trace out.ndjson] [-metrics out.json]
 //	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -23,15 +24,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 
 	"repro/internal/core"
 	"repro/internal/explore"
+	"repro/internal/flowcmd"
 	"repro/internal/obs"
 	"repro/internal/obs/obscli"
 	"repro/internal/resil"
-	"repro/internal/soc"
-	"repro/internal/systems"
 )
 
 func main() {
@@ -42,12 +41,15 @@ func main() {
 	budget := flag.Int("budget", 0, "budget for the objective (cells for -objective tat, cycles for -objective area)")
 	verbose := flag.Bool("v", false, "print per-core details and a per-phase timing summary")
 	fault := flag.String("fault", "", "inject faults (comma-separated: cut:FROM->TO, opaque:CORE, slow:CORE[:K], noscan:CORE) and evaluate gracefully")
+	timeout := flowcmd.AddTimeout(flag.CommandLine)
 	obsCfg := obscli.AddFlags(flag.CommandLine)
 	flag.Parse()
+	ctx, cancel := flowcmd.Context(*timeout)
+	defer cancel()
 
-	sess, err := obsCfg.Start()
-	if err != nil {
-		log.Fatal(err)
+	sess, serr := obsCfg.Start()
+	if serr != nil {
+		log.Fatal(serr)
 	}
 	defer sess.Close()
 	if *verbose && !obs.Enabled() {
@@ -55,7 +57,10 @@ func main() {
 		obs.Enable(obsCfg.TraceCap)
 	}
 
-	ch := pick(*system)
+	ch, err := flowcmd.System(*system)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("SOCET flow on %s\n", ch.Name)
 	f, err := core.Prepare(ch, nil)
 	if err != nil {
@@ -75,7 +80,7 @@ func main() {
 		if b == 0 {
 			b = 1 << 30
 		}
-		res, err := explore.Improve(f, explore.MinimizeTAT, b)
+		res, err := explore.ImproveCtx(ctx, f, explore.MinimizeTAT, b, explore.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -84,7 +89,7 @@ func main() {
 		if *budget == 0 {
 			log.Fatal("-objective area needs -budget cycles")
 		}
-		res, err := explore.Improve(f, explore.MinimizeArea, *budget)
+		res, err := explore.ImproveCtx(ctx, f, explore.MinimizeArea, *budget, explore.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -106,13 +111,13 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("\ninjected faults: %s\n", resil.FaultSetString(faults))
-		dev, err := f.Fork(damaged).EvaluateDegraded()
+		dev, err := f.Fork(damaged).EvaluateDegradedCtx(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
 		e, report = dev.Evaluation, dev.Report
 	} else {
-		e, err = f.Evaluate()
+		e, err = f.EvaluateCtx(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -159,18 +164,6 @@ func main() {
 			fmt.Printf("\nper-phase timing:\n%s", obs.FormatSummary(obs.Summarize(t.Records())))
 		}
 	}
-}
-
-func pick(n int) *soc.Chip {
-	switch n {
-	case 1:
-		return systems.System1()
-	case 2:
-		return systems.System2()
-	}
-	fmt.Fprintln(os.Stderr, "socet: -system must be 1 or 2")
-	os.Exit(2)
-	return nil
 }
 
 func printSteps(res *explore.Result) {

@@ -6,16 +6,18 @@
 // Usage:
 //
 //	socgen -seed 7                       # dump one chip
-//	socgen -seed 7 -cores 12 -topology mesh -flow
+//	socgen -seed 7 -cores 12 -topology mesh -flow [-timeout 30s]
 //	socgen -count 20 -verify             # verify a sweep of seeds
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
 	"repro/internal/core"
+	"repro/internal/flowcmd"
 	"repro/internal/obs/obscli"
 	"repro/internal/proptest"
 	"repro/internal/soc"
@@ -31,8 +33,11 @@ func main() {
 	count := flag.Int("count", 1, "number of consecutive seeds starting at -seed")
 	flow := flag.Bool("flow", false, "run the SOCET flow and print the schedule summary")
 	verify := flag.Bool("verify", false, "run the full property battery (implies the flow)")
+	timeout := flowcmd.AddTimeout(flag.CommandLine)
 	obsCfg := obscli.AddFlags(flag.CommandLine)
 	flag.Parse()
+	ctx, cancel := flowcmd.Context(*timeout)
+	defer cancel()
 	sess, err := obsCfg.Start()
 	if err != nil {
 		log.Fatal(err)
@@ -48,13 +53,13 @@ func main() {
 		if i > 0 {
 			fmt.Println()
 		}
-		if err := run(p, *flow, *verify); err != nil {
+		if err := run(ctx, p, *flow, *verify); err != nil {
 			log.Fatal(err)
 		}
 	}
 }
 
-func run(p socgen.Params, flow, verify bool) error {
+func run(ctx context.Context, p socgen.Params, flow, verify bool) error {
 	ch, err := socgen.Generate(p)
 	if err != nil {
 		return err
@@ -74,15 +79,11 @@ func run(p socgen.Params, flow, verify bool) error {
 	if !flow {
 		return nil
 	}
-	vecs := map[string]int{}
-	for i, c := range ch.TestableCores() {
-		vecs[c.Name] = 10 + i%23
-	}
-	f, err := core.Prepare(ch, &core.Options{VectorOverride: vecs})
+	f, err := core.Prepare(ch, flowcmd.GenVectorOverride(ch))
 	if err != nil {
 		return err
 	}
-	e, err := f.Evaluate()
+	e, err := f.EvaluateCtx(ctx)
 	if err != nil {
 		return err
 	}

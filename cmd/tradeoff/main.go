@@ -37,12 +37,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/explore"
+	"repro/internal/flowcmd"
 	"repro/internal/obs/obscli"
 	"repro/internal/report"
 	"repro/internal/shard"
-	"repro/internal/soc"
-	"repro/internal/socgen"
-	"repro/internal/systems"
 )
 
 func main() {
@@ -68,7 +66,11 @@ func main() {
 	}
 	defer sess.Close()
 
-	ch, opts, err := pickChip(*gen, *system, *seed, *cores, *topology)
+	spec := flowcmd.ChipSpec{System: *system}
+	if *gen {
+		spec = flowcmd.ChipSpec{Gen: &flowcmd.GenSpec{Seed: *seed, Cores: *cores, Topology: *topology}}
+	}
+	ch, opts, err := spec.Build()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -152,33 +154,4 @@ func runSharded(ctx context.Context, f *core.Flow, chip string, cfg *shard.Flags
 		}
 		os.Exit(1)
 	}
-}
-
-// pickChip resolves the explored chip: an example system, or with gen a
-// seeded random SoC. Generated cores carry no gate-level netlists, so
-// their vector counts come from a seed-derived override (the same rule
-// cmd/socgen -flow uses) rather than from ATPG.
-func pickChip(gen bool, system int, seed uint64, cores int, topology string) (*soc.Chip, *core.Options, error) {
-	if !gen {
-		switch system {
-		case 1:
-			return systems.System1(), nil, nil
-		case 2:
-			return systems.System2(), nil, nil
-		}
-		return nil, nil, fmt.Errorf("-system must be 1 or 2")
-	}
-	topo, err := socgen.ParseTopology(topology)
-	if err != nil {
-		return nil, nil, err
-	}
-	ch, err := socgen.Generate(socgen.Params{Seed: seed, Cores: cores, Topology: topo})
-	if err != nil {
-		return nil, nil, err
-	}
-	vecs := map[string]int{}
-	for i, c := range ch.TestableCores() {
-		vecs[c.Name] = 10 + i%23
-	}
-	return ch, &core.Options{VectorOverride: vecs}, nil
 }

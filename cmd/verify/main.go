@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	verify [-system 1|2]
+//	verify [-system 1|2] [-timeout 30s]
 package main
 
 import (
@@ -18,11 +18,10 @@ import (
 
 	"repro/internal/chipsim"
 	"repro/internal/core"
+	"repro/internal/flowcmd"
 	"repro/internal/obs/obscli"
 	"repro/internal/rtlsim"
 	"repro/internal/sched"
-	"repro/internal/soc"
-	"repro/internal/systems"
 	"repro/internal/trans"
 )
 
@@ -30,22 +29,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("verify: ")
 	system := flag.Int("system", 1, "example system (1 or 2)")
+	timeout := flowcmd.AddTimeout(flag.CommandLine)
 	obsCfg := obscli.AddFlags(flag.CommandLine)
 	flag.Parse()
+	ctx, cancel := flowcmd.Context(*timeout)
+	defer cancel()
 	sess, err := obsCfg.Start()
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer sess.Close()
 
-	var ch *soc.Chip
-	switch *system {
-	case 1:
-		ch = systems.System1()
-	case 2:
-		ch = systems.System2()
-	default:
-		log.Fatal("-system must be 1 or 2")
+	ch, err := flowcmd.System(*system)
+	if err != nil {
+		log.Fatal(err)
 	}
 	vec := map[string]int{}
 	for _, c := range ch.Cores {
@@ -87,7 +84,7 @@ func main() {
 			c.Name, verified, skipped, chains)
 	}
 
-	e, err := f.Evaluate()
+	e, err := f.EvaluateCtx(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

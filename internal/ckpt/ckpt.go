@@ -1,0 +1,199 @@
+// Package ckpt is the crash-safe framed checkpoint codec shared by the
+// sharded campaign runner (internal/shard) and the evaluation daemon's
+// job journal (internal/serve/job). It owns the byte-level survival
+// story; what a frame's payload means stays with the caller.
+//
+// A checkpoint file is a sequence of self-delimiting frames, newest
+// last:
+//
+//	offset  size  field
+//	0       4     magic "SCK1" (little-endian 0x314B4353)
+//	4       2     frame schema version (currently 1)
+//	6       4     payload length in bytes
+//	10      4     CRC-32 (IEEE) of the payload
+//	14      n     payload (opaque to this package)
+//
+// Every save rewrites the file atomically (temp file + fsync + rename)
+// with the last few frames, so a crash at any instant leaves either the
+// old file or the new one — never a half-written tail that silently
+// parses. The decoder still assumes nothing: a frame whose magic,
+// version, length, CRC — or, via the caller's accept hook, payload —
+// does not check out is skipped (with a resync scan for the next magic
+// occurrence), and the newest frame that does check out wins. A
+// checkpoint is therefore survived, never trusted.
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+const (
+	frameMagic   = 0x314B4353 // "SCK1" little-endian
+	frameVersion = 1
+	// HeaderSize is the fixed frame header length in bytes.
+	HeaderSize = 14
+	// DefaultKeep bounds how many historical frames a checkpoint file
+	// retains: enough that a latent corruption of the newest frame falls
+	// back to recent work, small enough that files stay O(state size).
+	DefaultKeep = 4
+)
+
+// AppendFrame encodes payload as one frame and appends it to buf.
+func AppendFrame(buf, payload []byte) []byte {
+	var hdr [HeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], frameMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], frameVersion)
+	binary.LittleEndian.PutUint32(hdr[6:10], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[10:14], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// DecodeFrames scans data for frames, handing each structurally sound
+// payload to accept (nil accepts everything); a payload accept rejects
+// counts as corrupt, exactly like a bad CRC. It returns how many frames
+// were accepted and how many byte regions had to be discarded (torn
+// tails, bit flips, rejected payloads, garbage between frames). It
+// never fails: corrupt input just yields zero good frames. After a bad
+// frame the scan resyncs on the next magic occurrence, so one flipped
+// bit does not take out every frame behind it. Accept is called on
+// frames oldest-first; callers wanting the newest good payload keep the
+// last one accepted.
+func DecodeFrames(data []byte, accept func(payload []byte) bool) (good, discarded int) {
+	off := 0
+	for off < len(data) {
+		payload, next, ok := decodeOne(data, off)
+		if ok && (accept == nil || accept(payload)) {
+			good++
+			off = next
+			continue
+		}
+		discarded++
+		off = resync(data, off+1)
+	}
+	return good, discarded
+}
+
+// decodeOne tries to decode the frame at off; next is the offset after it.
+func decodeOne(data []byte, off int) (payload []byte, next int, ok bool) {
+	if off+HeaderSize > len(data) {
+		return nil, len(data), false
+	}
+	hdr := data[off : off+HeaderSize]
+	if binary.LittleEndian.Uint32(hdr[0:4]) != frameMagic {
+		return nil, 0, false
+	}
+	if binary.LittleEndian.Uint16(hdr[4:6]) != frameVersion {
+		return nil, 0, false
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[6:10]))
+	if n < 0 || off+HeaderSize+n > len(data) {
+		return nil, 0, false
+	}
+	payload = data[off+HeaderSize : off+HeaderSize+n]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[10:14]) {
+		return nil, 0, false
+	}
+	return payload, off + HeaderSize + n, true
+}
+
+// resync returns the offset of the next magic occurrence at or after off.
+func resync(data []byte, off int) int {
+	for ; off+4 <= len(data); off++ {
+		if binary.LittleEndian.Uint32(data[off:off+4]) == frameMagic {
+			return off
+		}
+	}
+	return len(data)
+}
+
+// Load reads the file at path and returns its newest accepted payload.
+// A missing file returns (nil, 0, nil) — a fresh start. Corruption is
+// counted in discarded and survived: whatever good frames exist decide
+// the payload, and a fully corrupt file is a fresh start too. The only
+// errors are real I/O failures.
+func Load(path string, accept func(payload []byte) bool) (newest []byte, discarded int, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("ckpt: reading %s: %w", path, err)
+	}
+	_, discarded = DecodeFrames(data, func(payload []byte) bool {
+		if accept != nil && !accept(payload) {
+			return false
+		}
+		newest = payload
+		return true
+	})
+	return newest, discarded, nil
+}
+
+// Writer persists checkpoint frames for one file: it retains the last
+// Keep encoded frames and rewrites the whole file atomically on every
+// write (temp in the same directory, fsync, rename).
+type Writer struct {
+	path    string
+	keep    int
+	history [][]byte
+}
+
+// NewWriter returns a writer for path keeping the last keep frames
+// (keep <= 0 selects DefaultKeep).
+func NewWriter(path string, keep int) *Writer {
+	if keep <= 0 {
+		keep = DefaultKeep
+	}
+	return &Writer{path: path, keep: keep}
+}
+
+// Seed installs a recovered payload as the writer's oldest frame, so
+// the pre-crash state stays on disk as the fallback frame of the next
+// save.
+func (w *Writer) Seed(payload []byte) {
+	w.history = append(w.history, AppendFrame(nil, payload))
+}
+
+// Write persists payload as the newest frame, rotating history.
+func (w *Writer) Write(payload []byte) error {
+	w.history = append(w.history, AppendFrame(nil, payload))
+	if len(w.history) > w.keep {
+		w.history = w.history[len(w.history)-w.keep:]
+	}
+	var buf []byte
+	for _, f := range w.history {
+		buf = append(buf, f...)
+	}
+	return AtomicWrite(w.path, buf)
+}
+
+// AtomicWrite writes data to path via a temp file in the same
+// directory, fsyncs it, and renames it into place.
+func AtomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("ckpt: writing %s: %w", path, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: writing %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: syncing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ckpt: closing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("ckpt: installing %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package ckpt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRoundTripNewestWins(t *testing.T) {
+	var buf []byte
+	payloads := [][]byte{[]byte(`{"a":1}`), []byte(`{"a":2}`), []byte(`{"a":3}`)}
+	for _, p := range payloads {
+		buf = AppendFrame(buf, p)
+	}
+	var newest []byte
+	good, discarded := DecodeFrames(buf, func(p []byte) bool { newest = p; return true })
+	if good != 3 || discarded != 0 {
+		t.Fatalf("good=%d discarded=%d, want 3/0", good, discarded)
+	}
+	if !bytes.Equal(newest, payloads[2]) {
+		t.Fatalf("newest = %q, want %q", newest, payloads[2])
+	}
+}
+
+// TestTruncation tears the buffer at every offset: the decoder must
+// never panic and must recover exactly the frames wholly present.
+func TestTruncation(t *testing.T) {
+	one := AppendFrame(nil, []byte("first payload"))
+	both := AppendFrame(append([]byte(nil), one...), []byte("second payload"))
+	for cut := 0; cut <= len(both); cut++ {
+		good, _ := DecodeFrames(both[:cut], nil)
+		want := 0
+		if cut >= len(one) {
+			want = 1
+		}
+		if cut == len(both) {
+			want = 2
+		}
+		if good != want {
+			t.Fatalf("cut %d: good=%d, want %d", cut, good, want)
+		}
+	}
+}
+
+// TestBitFlip flips every byte of the newest frame; it must never be
+// accepted and the older frame must survive.
+func TestBitFlip(t *testing.T) {
+	one := AppendFrame(nil, []byte("older"))
+	both := AppendFrame(append([]byte(nil), one...), []byte("newer"))
+	for i := len(one); i < len(both); i++ {
+		mut := append([]byte(nil), both...)
+		mut[i] ^= 0x40
+		var newest []byte
+		good, discarded := DecodeFrames(mut, func(p []byte) bool { newest = p; return true })
+		if good < 1 || discarded == 0 {
+			t.Fatalf("flip at %d: good=%d discarded=%d", i, good, discarded)
+		}
+		if bytes.Equal(newest, []byte("newer")) {
+			t.Fatalf("flip at %d: corrupt newest frame trusted", i)
+		}
+	}
+}
+
+func TestAcceptRejectionCountsAsCorrupt(t *testing.T) {
+	buf := AppendFrame(nil, []byte("reject me"))
+	buf = AppendFrame(buf, []byte("keep me"))
+	var newest []byte
+	good, discarded := DecodeFrames(buf, func(p []byte) bool {
+		if bytes.HasPrefix(p, []byte("reject")) {
+			return false
+		}
+		newest = p
+		return true
+	})
+	if good != 1 || discarded != 1 || !bytes.Equal(newest, []byte("keep me")) {
+		t.Fatalf("good=%d discarded=%d newest=%q", good, discarded, newest)
+	}
+}
+
+func TestWriterRotatesAndLoads(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.ck")
+	w := NewWriter(path, 3)
+	for i := byte('a'); i <= 'f'; i++ {
+		if err := w.Write([]byte{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, discarded := DecodeFrames(data, nil)
+	if good != 3 || discarded != 0 {
+		t.Fatalf("good=%d discarded=%d, want 3/0", good, discarded)
+	}
+	newest, discarded, err := Load(path, nil)
+	if err != nil || discarded != 0 || !bytes.Equal(newest, []byte("f")) {
+		t.Fatalf("Load = %q/%d/%v", newest, discarded, err)
+	}
+}
+
+func TestLoadMissingAndGarbage(t *testing.T) {
+	dir := t.TempDir()
+	if p, d, err := Load(filepath.Join(dir, "missing"), nil); p != nil || d != 0 || err != nil {
+		t.Fatalf("missing: %q/%d/%v", p, d, err)
+	}
+	path := filepath.Join(dir, "garbage")
+	if err := os.WriteFile(path, []byte("not frames"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, d, err := Load(path, nil)
+	if p != nil || d == 0 || err != nil {
+		t.Fatalf("garbage: %q/%d/%v", p, d, err)
+	}
+}
+
+func TestSeedBecomesFallback(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.ck")
+	w := NewWriter(path, 0)
+	w.Seed([]byte("recovered"))
+	if err := w.Write([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all [][]byte
+	good, _ := DecodeFrames(data, func(p []byte) bool {
+		all = append(all, append([]byte(nil), p...))
+		return true
+	})
+	if good != 2 || !bytes.Equal(all[0], []byte("recovered")) || !bytes.Equal(all[1], []byte("fresh")) {
+		t.Fatalf("frames = %q (good %d)", all, good)
+	}
+}

@@ -1,0 +1,209 @@
+package flowcmd
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/rtl"
+	"repro/internal/soc"
+)
+
+// The chip script is the text wire format for whole systems: the
+// chip-level structure in directive lines, with each core's netlist
+// embedded in the rtl core-script codec (rtl.DecodeScript). It is what
+// socetd job specs carry in ChipSpec.Script, and what FuzzJobSpec
+// mutates.
+//
+//	chip NAME            chip name (must come first)
+//	pi NAME W            primary input pin
+//	po NAME W            primary output pin
+//	core NAME [memory]   starts a core block; the rtl core-script lines
+//	                     that follow (i/j/o/p/r/l/m/u/w) are its netlist
+//	vectors N            inside a core block: fixed test-set size for the
+//	                     core (a VectorOverride; otherwise ATPG decides)
+//	net FROM TO          chip net; endpoints are PIN or CORE.PORT
+//	# ...                comment
+//
+// Unlike the forgiving core codec underneath it, the chip layer is
+// strict: unknown directives, bad arity, duplicate names and unbuildable
+// cores are errors, because a job spec that silently dropped half its
+// chip would evaluate the wrong system. Malformed input must fail the
+// job at admission, loudly.
+const (
+	// ScriptMaxCores bounds how many cores one chip script may declare.
+	ScriptMaxCores = 64
+	// ScriptMaxNets bounds chip-level pins plus nets.
+	ScriptMaxNets = 4096
+)
+
+// ParseChipScript parses a chip script into a chip plus the flow options
+// its vectors directives imply (nil when none are given). The chip is
+// structurally validated; core netlists are built and validated.
+func ParseChipScript(script string) (*soc.Chip, *core.Options, error) {
+	ch := &soc.Chip{}
+	vecs := map[string]int{}
+	var (
+		curCore  *soc.Core // core block being accumulated, nil at chip level
+		curLines []string  // rtl core-script lines of the current block
+		names    = map[string]bool{}
+	)
+	flush := func() error {
+		if curCore == nil {
+			return nil
+		}
+		b := rtl.DecodeScript("n " + curCore.Name + "\n" + strings.Join(curLines, "\n"))
+		c, err := b.Build()
+		if err != nil {
+			return fmt.Errorf("flowcmd: core %s: %w", curCore.Name, err)
+		}
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("flowcmd: core %s: %w", curCore.Name, err)
+		}
+		curCore.RTL = c
+		ch.Cores = append(ch.Cores, curCore)
+		curCore, curLines = nil, nil
+		return nil
+	}
+	for ln, line := range strings.Split(script, "\n") {
+		f := strings.Fields(line)
+		if len(f) == 0 || strings.HasPrefix(f[0], "#") {
+			continue
+		}
+		bad := func(why string) error {
+			return fmt.Errorf("flowcmd: chip script line %d: %s: %q", ln+1, why, strings.TrimSpace(line))
+		}
+		switch f[0] {
+		case "chip":
+			if len(f) != 2 || ch.Name != "" {
+				return nil, nil, bad("chip NAME must appear exactly once, first")
+			}
+			ch.Name = f[1]
+		case "pi", "po":
+			if len(f) != 3 {
+				return nil, nil, bad("want " + f[0] + " NAME WIDTH")
+			}
+			w, err := strconv.Atoi(f[2])
+			if err != nil || w < 1 || w > rtl.ScriptMaxWidth {
+				return nil, nil, bad(fmt.Sprintf("pin width must be 1..%d", rtl.ScriptMaxWidth))
+			}
+			if names["pin:"+f[1]] {
+				return nil, nil, bad("duplicate pin name")
+			}
+			names["pin:"+f[1]] = true
+			pin := soc.Pin{Name: f[1], Width: w}
+			if f[0] == "pi" {
+				ch.PIs = append(ch.PIs, pin)
+			} else {
+				ch.POs = append(ch.POs, pin)
+			}
+		case "core":
+			if len(f) < 2 || len(f) > 3 || (len(f) == 3 && f[2] != "memory") {
+				return nil, nil, bad("want core NAME [memory]")
+			}
+			if err := flush(); err != nil {
+				return nil, nil, err
+			}
+			if names["core:"+f[1]] {
+				return nil, nil, bad("duplicate core name")
+			}
+			names["core:"+f[1]] = true
+			if len(ch.Cores) >= ScriptMaxCores {
+				return nil, nil, bad(fmt.Sprintf("more than %d cores", ScriptMaxCores))
+			}
+			curCore = &soc.Core{Name: f[1], Memory: len(f) == 3}
+		case "vectors":
+			if curCore == nil || len(f) != 2 {
+				return nil, nil, bad("vectors N belongs inside a core block")
+			}
+			n, err := strconv.Atoi(f[1])
+			if err != nil || n < 1 || n > 1<<20 {
+				return nil, nil, bad("vector count must be 1..2^20")
+			}
+			vecs[curCore.Name] = n
+		case "net":
+			if len(f) != 3 {
+				return nil, nil, bad("want net FROM TO")
+			}
+			fc, fp := splitEndpoint(f[1])
+			tc, tp := splitEndpoint(f[2])
+			ch.Nets = append(ch.Nets, soc.Net{FromCore: fc, FromPort: fp, ToCore: tc, ToPort: tp})
+		case "i", "j", "o", "p", "r", "l", "m", "u", "w", "n":
+			if curCore == nil {
+				return nil, nil, bad("core-script line outside a core block")
+			}
+			curLines = append(curLines, line)
+		default:
+			return nil, nil, bad("unknown directive")
+		}
+		if len(ch.PIs)+len(ch.POs)+len(ch.Nets) > ScriptMaxNets {
+			return nil, nil, fmt.Errorf("flowcmd: chip script: more than %d pins+nets", ScriptMaxNets)
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, nil, err
+	}
+	if ch.Name == "" {
+		return nil, nil, fmt.Errorf("flowcmd: chip script: missing chip NAME line")
+	}
+	if err := ch.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(vecs) == 0 {
+		return ch, nil, nil
+	}
+	return ch, &core.Options{VectorOverride: vecs}, nil
+}
+
+// splitEndpoint splits "CORE.PORT" at the first dot; a bare name is a
+// chip pin (empty core).
+func splitEndpoint(s string) (corename, port string) {
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		return s[:i], s[i+1:]
+	}
+	return "", s
+}
+
+// FormatChipScript serializes a chip (plus optional per-core vector
+// overrides) back into script form. It round-trips through
+// ParseChipScript for any chip the parser could have produced, and is
+// the seed-corpus generator for FuzzJobSpec.
+func FormatChipScript(ch *soc.Chip, vectors map[string]int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "chip %s\n", ch.Name)
+	for _, p := range ch.PIs {
+		fmt.Fprintf(&sb, "pi %s %d\n", p.Name, p.Width)
+	}
+	for _, p := range ch.POs {
+		fmt.Fprintf(&sb, "po %s %d\n", p.Name, p.Width)
+	}
+	for _, c := range ch.Cores {
+		if c.Memory {
+			fmt.Fprintf(&sb, "core %s memory\n", c.Name)
+		} else {
+			fmt.Fprintf(&sb, "core %s\n", c.Name)
+		}
+		// Drop the codec's own "n NAME" line: the core directive names it.
+		body := rtl.EncodeScript(c.RTL)
+		if i := strings.IndexByte(body, '\n'); i >= 0 && strings.HasPrefix(body, "n ") {
+			body = body[i+1:]
+		}
+		sb.WriteString(body)
+		if n := vectors[c.Name]; n > 0 {
+			fmt.Fprintf(&sb, "vectors %d\n", n)
+		}
+	}
+	for _, n := range ch.Nets {
+		from := n.FromPort
+		if n.FromCore != "" {
+			from = n.FromCore + "." + n.FromPort
+		}
+		to := n.ToPort
+		if n.ToCore != "" {
+			to = n.ToCore + "." + n.ToPort
+		}
+		fmt.Fprintf(&sb, "net %s %s\n", from, to)
+	}
+	return sb.String()
+}

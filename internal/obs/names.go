@@ -53,6 +53,19 @@ var KnownCounters = []string{
 	"sched.cores_skipped",              // cores dropped by partial scheduling
 	"sched.ports_unreachable",          // ports with no justification/propagation path
 	"sched.test_muxes_added",           // test muxes inserted by the scheduler
+	"serve.drains",                     // graceful drains begun (SIGTERM or /drain)
+	"serve.http_requests",              // daemon API requests served
+	"serve.jobs_accepted",              // jobs admitted past admission control
+	"serve.jobs_completed",             // jobs that settled successfully
+	"serve.jobs_failed",                // jobs that settled with an error
+	"serve.jobs_recovered",             // unfinished jobs re-run from the journal at startup
+	"serve.jobs_rejected",              // submissions refused (invalid spec, queue full, draining)
+	"serve.journal_write_errors",       // job journal snapshots that failed to persist
+	"serve.journal_writes",             // job journal snapshots persisted (temp+rename)
+	"serve.lease_retries",              // work-unit reassignments scheduled after failure or expiry
+	"serve.leases_expired",             // leases reclaimed after heartbeat silence past the TTL
+	"serve.leases_granted",             // work units leased to pool workers
+	"serve.worker_panics",              // pool attempts recovered from panic
 	"shard.checkpoints_written",        // shard checkpoint frames persisted (temp+rename)
 	"shard.frames_discarded",           // corrupt/torn checkpoint byte regions skipped on load
 	"shard.resumed_ranges",             // completed work ranges loaded from checkpoints on resume
@@ -65,6 +78,9 @@ var KnownGauges = []string{
 	"ccg.edges",                // CCG edge count of the last build
 	"ccg.nodes",                // CCG node count of the last build
 	"explore.parallel_workers", // worker-pool width of the last enumeration
+	"serve.active_leases",      // work units currently leased to pool workers
+	"serve.jobs_running",       // jobs currently executing
+	"serve.queue_depth",        // work units waiting for a pool worker
 }
 
 var knownSet = func() map[string]bool {

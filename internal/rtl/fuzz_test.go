@@ -1,9 +1,6 @@
 package rtl_test
 
 import (
-	"fmt"
-	"strconv"
-	"strings"
 	"testing"
 
 	"repro/internal/rtl"
@@ -11,164 +8,20 @@ import (
 	"repro/internal/systems"
 )
 
-// The fuzzer drives Builder/Validate through a line-based core script:
-//
-//	n NAME        core name
-//	i NAME W      data input        j NAME W   control input
-//	o NAME W      data output       p NAME W   control output
-//	r NAME W      register          l NAME W   register with load-enable
-//	m NAME W N    N-to-1 mux
-//	u NAME OP W NIN OUTW ALUOPS GATES BIAS CONST   functional unit
-//	w FROM TO     wire in endpoint syntax
-//
-// Unknown or short lines are ignored, so arbitrary mutations still reach
-// Build with a partially sensible structure. Numeric fields are clamped to
-// keep Validate's per-bit bookkeeping bounded; the clamp bounds structure
-// size, not validity, so malformed cores still flow through.
-
-const (
-	fuzzMaxLines = 200
-	fuzzMaxWidth = 64
-)
-
-func clampInt(s string, lo, hi int) int {
-	v, err := strconv.Atoi(s)
-	if err != nil {
-		return lo
-	}
-	if v < lo {
-		return lo
-	}
-	if v > hi {
-		return hi
-	}
-	return v
-}
-
-// decodeCore interprets a core script into a Builder. It never panics on
-// any input; all structural validation is left to Build.
-func decodeCore(script string) *rtl.Builder {
-	b := rtl.NewCore("fuzz")
-	lines := strings.Split(script, "\n")
-	if len(lines) > fuzzMaxLines {
-		lines = lines[:fuzzMaxLines]
-	}
-	for _, line := range lines {
-		f := strings.Fields(line)
-		if len(f) == 0 {
-			continue
-		}
-		switch f[0] {
-		case "n":
-			if len(f) >= 2 {
-				b = mergeName(b, f[1])
-			}
-		case "i":
-			if len(f) >= 3 {
-				b.In(f[1], clampInt(f[2], -1, fuzzMaxWidth))
-			}
-		case "j":
-			if len(f) >= 3 {
-				b.CtlIn(f[1], clampInt(f[2], -1, fuzzMaxWidth))
-			}
-		case "o":
-			if len(f) >= 3 {
-				b.Out(f[1], clampInt(f[2], -1, fuzzMaxWidth))
-			}
-		case "p":
-			if len(f) >= 3 {
-				b.CtlOut(f[1], clampInt(f[2], -1, fuzzMaxWidth))
-			}
-		case "r":
-			if len(f) >= 3 {
-				b.Reg(f[1], clampInt(f[2], -1, fuzzMaxWidth))
-			}
-		case "l":
-			if len(f) >= 3 {
-				b.RegLd(f[1], clampInt(f[2], -1, fuzzMaxWidth))
-			}
-		case "m":
-			if len(f) >= 4 {
-				b.Mux(f[1], clampInt(f[2], -1, fuzzMaxWidth), clampInt(f[3], 0, fuzzMaxWidth))
-			}
-		case "u":
-			if len(f) >= 9 {
-				op := rtl.UnitOp(clampInt(f[2], 0, int(rtl.OpCloud)))
-				w := clampInt(f[3], -1, fuzzMaxWidth)
-				if op == rtl.OpDecode && w > 8 {
-					// OutWidth is 1<<Width for decoders; keep it bounded.
-					w = 8
-				}
-				b.Unit(rtl.Unit{
-					Name:         f[1],
-					Op:           op,
-					Width:        w,
-					NumIn:        clampInt(f[4], 0, 8),
-					OutWidth:     clampInt(f[5], 0, 1<<10),
-					AluOps:       clampInt(f[6], 0, 8),
-					CloudGates:   clampInt(f[7], 0, 256),
-					CloudAndBias: f[8] == "1",
-					ConstVal:     uint64(clampInt(f[8], 0, 1<<20)),
-				})
-			}
-		case "w":
-			if len(f) >= 3 {
-				b.Wire(f[1], f[2])
-			}
-		}
-	}
-	return b
-}
-
-// mergeName restarts the builder under a new name; declarations made so
-// far are discarded (cheap, and name lines lead real scripts anyway).
-func mergeName(b *rtl.Builder, name string) *rtl.Builder {
-	return rtl.NewCore(name)
-}
-
-// encodeCore serializes a built core back into script form, providing a
-// high-quality seed corpus from the paper's two example systems.
-func encodeCore(c *rtl.Core) string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "n %s\n", c.Name)
-	for _, p := range c.Ports {
-		tag := map[bool]string{false: "i", true: "j"}[p.Control]
-		if p.Dir == rtl.Out {
-			tag = map[bool]string{false: "o", true: "p"}[p.Control]
-		}
-		fmt.Fprintf(&sb, "%s %s %d\n", tag, p.Name, p.Width)
-	}
-	for _, r := range c.Regs {
-		tag := "r"
-		if r.HasLoad {
-			tag = "l"
-		}
-		fmt.Fprintf(&sb, "%s %s %d\n", tag, r.Name, r.Width)
-	}
-	for _, m := range c.Muxes {
-		fmt.Fprintf(&sb, "m %s %d %d\n", m.Name, m.Width, m.NumIn)
-	}
-	for _, u := range c.Units {
-		bias := "0"
-		if u.CloudAndBias {
-			bias = "1"
-		}
-		fmt.Fprintf(&sb, "u %s %d %d %d %d %d %d %s\n",
-			u.Name, int(u.Op), u.Width, u.NumIn, u.OutWidth, u.AluOps, u.CloudGates, bias)
-		_ = u.ConstVal // folded into the bias column on decode; lossy is fine for seeds
-	}
-	for _, cn := range c.Conns {
-		fmt.Fprintf(&sb, "w %s %s\n", cn.From.String(), cn.To.String())
-	}
-	return sb.String()
-}
+// The fuzzer drives Builder/Validate through the line-based core script
+// codec (rtl.DecodeScript / rtl.EncodeScript, see script.go) — the same
+// wire format socetd job specs embed, so every corpus find here hardens
+// the daemon's decode path too. Unknown or short lines are ignored, so
+// arbitrary mutations still reach Build with a partially sensible
+// structure; numeric fields are clamped to keep Validate's per-bit
+// bookkeeping bounded.
 
 // FuzzValidate asserts the builder's error contract on arbitrary netlist
 // scripts: Build never panics, and any core it accepts passes Validate.
 func FuzzValidate(f *testing.F) {
 	for _, ch := range []*soc.Chip{systems.System1(), systems.System2()} {
 		for _, c := range ch.Cores {
-			f.Add(encodeCore(c.RTL))
+			f.Add(rtl.EncodeScript(c.RTL))
 		}
 	}
 	f.Add("n tiny\ni A 8\no Z 8\nw A Z\n")
@@ -177,7 +30,7 @@ func FuzzValidate(f *testing.F) {
 	f.Add("n bad\ni A 4\ni A 4\n")
 	f.Add("n mux\ni A 4\no Z 4\nm M 4 2\nw A M.in0\nw A M.in1\nw A[0] M.sel\nw M.out Z\n")
 	f.Fuzz(func(t *testing.T, script string) {
-		c, err := decodeCore(script).Build()
+		c, err := rtl.DecodeScript(script).Build()
 		if err != nil {
 			return // malformed input rejected with an error: the contract holds
 		}
@@ -188,4 +41,28 @@ func FuzzValidate(f *testing.F) {
 			t.Fatalf("Build accepted a core that fails Validate: %v", verr)
 		}
 	})
+}
+
+// TestScriptRoundTrip pins the codec: every example-system core must
+// survive encode → decode → Build and still validate.
+func TestScriptRoundTrip(t *testing.T) {
+	for _, ch := range []*soc.Chip{systems.System1(), systems.System2()} {
+		for _, c := range ch.Cores {
+			got, err := rtl.DecodeScript(rtl.EncodeScript(c.RTL)).Build()
+			if err != nil {
+				t.Fatalf("%s/%s: round trip failed to build: %v", ch.Name, c.Name, err)
+			}
+			if got.Name != c.RTL.Name {
+				t.Fatalf("%s: name %q after round trip", c.RTL.Name, got.Name)
+			}
+			if len(got.Ports) != len(c.RTL.Ports) || len(got.Regs) != len(c.RTL.Regs) ||
+				len(got.Muxes) != len(c.RTL.Muxes) || len(got.Units) != len(c.RTL.Units) ||
+				len(got.Conns) != len(c.RTL.Conns) {
+				t.Fatalf("%s: structure changed in round trip", c.RTL.Name)
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("%s: round-tripped core fails Validate: %v", c.RTL.Name, err)
+			}
+		}
+	}
 }

@@ -1,0 +1,167 @@
+package rtl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The line-based core script is the package's text wire format: compact
+// enough to paste into a JSON job spec, line-oriented enough to fuzz and
+// diff. One line declares one element:
+//
+//	n NAME        core name
+//	i NAME W      data input        j NAME W   control input
+//	o NAME W      data output       p NAME W   control output
+//	r NAME W      register          l NAME W   register with load-enable
+//	m NAME W N    N-to-1 mux
+//	u NAME OP W NIN OUTW ALUOPS GATES BIAS [CONST]   functional unit
+//	w FROM TO     wire in endpoint syntax
+//
+// Unknown or short lines are ignored, so arbitrary or mutated input
+// still reaches Build with a partially sensible structure; all
+// structural validation is Build's job. Numeric fields are clamped to
+// keep per-bit bookkeeping bounded — the clamp bounds structure size,
+// not validity, so malformed cores still flow through (and a hostile
+// script cannot ask a daemon for a 2^31-bit port). The codec round
+// trips: EncodeScript(c) decodes back to a core equal in structure to
+// c. Both rtl's FuzzValidate corpus and the socetd job-spec chip
+// scripts speak this format.
+const (
+	// ScriptMaxLines bounds how many lines DecodeScript interprets.
+	ScriptMaxLines = 200
+	// ScriptMaxWidth bounds every declared port/register/mux width.
+	ScriptMaxWidth = 64
+)
+
+func clampScriptInt(s string, lo, hi int) int {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return lo
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// DecodeScript interprets a core script into a Builder. It never panics
+// and never fails on any input; structural validation is left to Build.
+func DecodeScript(script string) *Builder {
+	b := NewCore("script")
+	lines := strings.Split(script, "\n")
+	if len(lines) > ScriptMaxLines {
+		lines = lines[:ScriptMaxLines]
+	}
+	for _, line := range lines {
+		f := strings.Fields(line)
+		if len(f) == 0 {
+			continue
+		}
+		switch f[0] {
+		case "n":
+			if len(f) >= 2 {
+				// A name line restarts the builder under the new name;
+				// declarations made so far are discarded (cheap, and
+				// name lines lead real scripts anyway).
+				b = NewCore(f[1])
+			}
+		case "i":
+			if len(f) >= 3 {
+				b.In(f[1], clampScriptInt(f[2], -1, ScriptMaxWidth))
+			}
+		case "j":
+			if len(f) >= 3 {
+				b.CtlIn(f[1], clampScriptInt(f[2], -1, ScriptMaxWidth))
+			}
+		case "o":
+			if len(f) >= 3 {
+				b.Out(f[1], clampScriptInt(f[2], -1, ScriptMaxWidth))
+			}
+		case "p":
+			if len(f) >= 3 {
+				b.CtlOut(f[1], clampScriptInt(f[2], -1, ScriptMaxWidth))
+			}
+		case "r":
+			if len(f) >= 3 {
+				b.Reg(f[1], clampScriptInt(f[2], -1, ScriptMaxWidth))
+			}
+		case "l":
+			if len(f) >= 3 {
+				b.RegLd(f[1], clampScriptInt(f[2], -1, ScriptMaxWidth))
+			}
+		case "m":
+			if len(f) >= 4 {
+				b.Mux(f[1], clampScriptInt(f[2], -1, ScriptMaxWidth), clampScriptInt(f[3], 0, ScriptMaxWidth))
+			}
+		case "u":
+			if len(f) >= 9 {
+				op := UnitOp(clampScriptInt(f[2], 0, int(OpCloud)))
+				w := clampScriptInt(f[3], -1, ScriptMaxWidth)
+				if op == OpDecode && w > 8 {
+					// OutWidth is 1<<Width for decoders; keep it bounded.
+					w = 8
+				}
+				u := Unit{
+					Name:         f[1],
+					Op:           op,
+					Width:        w,
+					NumIn:        clampScriptInt(f[4], 0, 8),
+					OutWidth:     clampScriptInt(f[5], 0, 1<<10),
+					AluOps:       clampScriptInt(f[6], 0, 8),
+					CloudGates:   clampScriptInt(f[7], 0, 1<<16),
+					CloudAndBias: f[8] == "1",
+				}
+				if len(f) >= 10 {
+					u.ConstVal = uint64(clampScriptInt(f[9], 0, 1<<20))
+				}
+				b.Unit(u)
+			}
+		case "w":
+			if len(f) >= 3 {
+				b.Wire(f[1], f[2])
+			}
+		}
+	}
+	return b
+}
+
+// EncodeScript serializes a built core back into script form — the seed
+// corpus generator for FuzzValidate and the round-trip half the chip
+// script format builds on.
+func EncodeScript(c *Core) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n %s\n", c.Name)
+	for _, p := range c.Ports {
+		tag := map[bool]string{false: "i", true: "j"}[p.Control]
+		if p.Dir == Out {
+			tag = map[bool]string{false: "o", true: "p"}[p.Control]
+		}
+		fmt.Fprintf(&sb, "%s %s %d\n", tag, p.Name, p.Width)
+	}
+	for _, r := range c.Regs {
+		tag := "r"
+		if r.HasLoad {
+			tag = "l"
+		}
+		fmt.Fprintf(&sb, "%s %s %d\n", tag, r.Name, r.Width)
+	}
+	for _, m := range c.Muxes {
+		fmt.Fprintf(&sb, "m %s %d %d\n", m.Name, m.Width, m.NumIn)
+	}
+	for _, u := range c.Units {
+		bias := "0"
+		if u.CloudAndBias {
+			bias = "1"
+		}
+		fmt.Fprintf(&sb, "u %s %d %d %d %d %d %d %s %d\n",
+			u.Name, int(u.Op), u.Width, u.NumIn, u.OutWidth, u.AluOps, u.CloudGates, bias, u.ConstVal)
+	}
+	for _, cn := range c.Conns {
+		fmt.Fprintf(&sb, "w %s %s\n", cn.From.String(), cn.To.String())
+	}
+	return sb.String()
+}

@@ -1,0 +1,183 @@
+// Package api is socetd's HTTP surface: a small JSON API over the job
+// manager (internal/serve/job). It adds no behavior of its own — every
+// response is a direct rendering of manager state, so the interesting
+// properties (admission control, crash recovery, deterministic results)
+// are tested at the job layer and merely exposed here.
+//
+//	POST /jobs             submit a job spec (JSON), 201 + record
+//	GET  /jobs             list all job records
+//	GET  /jobs/{id}        one job record
+//	GET  /jobs/{id}/result the finished job's result text (see below)
+//	GET  /healthz          process liveness (always 200 while serving)
+//	GET  /readyz           admission readiness (503 once draining)
+//
+// Backpressure is deterministic: a full queue is HTTP 429 and a
+// draining daemon is HTTP 503, both carrying a fixed Retry-After so
+// clients back off without guessing.
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve/job"
+)
+
+// Options configures the handler. The zero value is usable.
+type Options struct {
+	// MaxBody bounds a request body in bytes (default 1 MiB — comfortably
+	// above job.SpecMaxScript plus JSON framing).
+	MaxBody int64
+	// MaxWait caps the ?wait= blocking window on the result endpoint
+	// (default 10m).
+	MaxWait time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBody <= 0 {
+		o.MaxBody = 1 << 20
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = 10 * time.Minute
+	}
+	return o
+}
+
+// Retry-After values, fixed so backoff behavior is testable: a full
+// queue clears as soon as one job settles (retry quickly); a draining
+// daemon never comes back (retry somewhere else, much later).
+const (
+	busyRetryAfter  = "1"
+	drainRetryAfter = "60"
+)
+
+// New builds the daemon's HTTP handler over m.
+func New(m *job.Manager, o Options) http.Handler {
+	o = o.withDefaults()
+	s := &server{m: m, opts: o}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.submit)
+	mux.HandleFunc("GET /jobs", s.list)
+	mux.HandleFunc("GET /jobs/{id}", s.get)
+	mux.HandleFunc("GET /jobs/{id}/result", s.result)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if m.Draining() {
+			w.Header().Set("Retry-After", drainRetryAfter)
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ok\n")
+	})
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		obs.C("serve.http_requests").Inc()
+		mux.ServeHTTP(w, r)
+	})
+}
+
+type server struct {
+	m    *job.Manager
+	opts Options
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBody))
+	if err != nil {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: fmt.Sprintf("body exceeds %d bytes", s.opts.MaxBody)})
+		return
+	}
+	spec, err := job.DecodeSpec(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	rec, err := s.m.Submit(*spec)
+	switch {
+	case errors.Is(err, job.ErrBusy):
+		w.Header().Set("Retry-After", busyRetryAfter)
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+		return
+	case errors.Is(err, job.ErrDraining):
+		w.Header().Set("Retry-After", drainRetryAfter)
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+rec.ID)
+	writeJSON(w, http.StatusCreated, rec)
+}
+
+func (s *server) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []job.Record `json:"jobs"`
+	}{Jobs: s.m.List()})
+}
+
+func (s *server) get(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.m.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// result serves a finished job's result text verbatim (the bytes the
+// determinism guarantees are about). ?wait=30s blocks until the job
+// settles or the window closes; without it, unfinished jobs answer 202.
+func (s *server) result(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.m.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" && !rec.State.Terminal() {
+		d, err := time.ParseDuration(waitStr)
+		if err != nil || d < 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad wait %q", waitStr)})
+			return
+		}
+		if d > s.opts.MaxWait {
+			d = s.opts.MaxWait
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		if got, err := s.m.Wait(ctx, id); err == nil {
+			rec = got
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch rec.State {
+	case job.StateDone:
+		io.WriteString(w, rec.Result)
+	case job.StateFailed:
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, "job failed: %s\n", rec.Error)
+	default:
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, "state: %s\n", rec.State)
+	}
+}

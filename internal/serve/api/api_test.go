@@ -1,0 +1,213 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/flowcmd"
+	"repro/internal/serve/job"
+)
+
+func testServer(t *testing.T, o job.Options) (*job.Manager, *httptest.Server) {
+	t.Helper()
+	if o.Dir == "" {
+		o.Dir = t.TempDir()
+	}
+	if o.Every == 0 {
+		o.Every = time.Millisecond
+	}
+	m, err := job.New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	ts := httptest.NewServer(New(m, Options{}))
+	t.Cleanup(ts.Close)
+	return m, ts
+}
+
+func evaluateSpec() string {
+	return `{"type":"evaluate","chip":{"gen":{"seed":7,"cores":5}}}`
+}
+
+func post(t *testing.T, ts *httptest.Server, path, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func decodeRecord(t *testing.T, resp *http.Response) job.Record {
+	t.Helper()
+	var rec job.Record
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			return sb.String()
+		}
+	}
+}
+
+// TestSubmitAndResult walks the happy path: submit, locate, block on the
+// result, and require the served bytes to equal the journaled record's.
+func TestSubmitAndResult(t *testing.T) {
+	m, ts := testServer(t, job.Options{})
+	resp := post(t, ts, "/jobs", evaluateSpec())
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /jobs = %d, want 201", resp.StatusCode)
+	}
+	rec := decodeRecord(t, resp)
+	if loc := resp.Header.Get("Location"); loc != "/jobs/"+rec.ID {
+		t.Fatalf("Location = %q", loc)
+	}
+
+	res := get(t, ts, "/jobs/"+rec.ID+"/result?wait=2m")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("result = %d: %s", res.StatusCode, readAll(t, res))
+	}
+	body := readAll(t, res)
+	final, _ := m.Get(rec.ID)
+	if body != final.Result {
+		t.Fatalf("served result differs from record:\n%s\nvs\n%s", body, final.Result)
+	}
+	if !strings.HasPrefix(body, "chip ") {
+		t.Fatalf("unexpected result body:\n%s", body)
+	}
+
+	one := get(t, ts, "/jobs/"+rec.ID)
+	if one.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/{id} = %d", one.StatusCode)
+	}
+	var list struct {
+		Jobs []job.Record `json:"jobs"`
+	}
+	lr := get(t, ts, "/jobs")
+	if err := json.NewDecoder(lr.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != rec.ID {
+		t.Fatalf("GET /jobs = %+v", list.Jobs)
+	}
+}
+
+// TestBadRequests covers the 4xx surface: malformed JSON, invalid
+// specs, unknown jobs, bad wait durations, oversized bodies.
+func TestBadRequests(t *testing.T) {
+	_, ts := testServer(t, job.Options{})
+	if resp := post(t, ts, "/jobs", "{not json"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON = %d, want 400", resp.StatusCode)
+	}
+	if resp := post(t, ts, "/jobs", `{"type":"nope"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid spec = %d, want 400", resp.StatusCode)
+	}
+	if resp := get(t, ts, "/jobs/j999"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job = %d, want 404", resp.StatusCode)
+	}
+	if resp := get(t, ts, "/jobs/j999/result"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown result = %d, want 404", resp.StatusCode)
+	}
+	huge := `{"type":"evaluate","chip":{"script":"` + strings.Repeat("#", 2<<20) + `"}}`
+	if resp := post(t, ts, "/jobs", huge); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body = %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestBackpressure429 saturates the queue over HTTP and requires the
+// deterministic 429 + Retry-After contract.
+func TestBackpressure429(t *testing.T) {
+	_, ts := testServer(t, job.Options{QueueLimit: 1})
+	slow := `{"type":"campaign","chip":{"gen":{"seed":7,"cores":5}},"shards":2,"runs":200,"set_size":2,"seed":1}`
+	if resp := post(t, ts, "/jobs", slow); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first POST = %d, want 201", resp.StatusCode)
+	}
+	resp := post(t, ts, "/jobs", evaluateSpec())
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated POST = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != busyRetryAfter {
+		t.Fatalf("Retry-After = %q, want %q", ra, busyRetryAfter)
+	}
+}
+
+// TestDrainFlips503 drains the manager and requires readiness and
+// admission to flip to 503 while liveness stays 200.
+func TestDrainFlips503(t *testing.T) {
+	m, ts := testServer(t, job.Options{})
+	if resp := get(t, ts, "/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz before drain = %d", resp.StatusCode)
+	}
+	if err := m.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if resp := get(t, ts, "/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after drain = %d, want 503", resp.StatusCode)
+	}
+	resp := post(t, ts, "/jobs", evaluateSpec())
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain POST = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != drainRetryAfter {
+		t.Fatalf("Retry-After = %q, want %q", ra, drainRetryAfter)
+	}
+	if resp := get(t, ts, "/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after drain = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestChipScriptOverWire submits a chip-script spec exactly as a curl
+// user would and requires it to evaluate.
+func TestChipScriptOverWire(t *testing.T) {
+	_, ts := testServer(t, job.Options{})
+	ch, _, err := (flowcmd.ChipSpec{System: 1}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := json.Marshal(map[string]any{
+		"type": "evaluate",
+		"chip": map[string]any{"script": flowcmd.FormatChipScript(ch, nil)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := post(t, ts, "/jobs", string(spec))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("script POST = %d: %s", resp.StatusCode, readAll(t, resp))
+	}
+	rec := decodeRecord(t, resp)
+	res := get(t, ts, "/jobs/"+rec.ID+"/result?wait=2m")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("script result = %d: %s", res.StatusCode, readAll(t, res))
+	}
+	if !strings.Contains(readAll(t, res), "chip "+ch.Name) {
+		t.Fatal("result does not name the scripted chip")
+	}
+}

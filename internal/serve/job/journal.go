@@ -1,0 +1,96 @@
+package job
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/ckpt"
+	"repro/internal/obs"
+)
+
+// State is a job's lifecycle position. Queued and Running jobs found in
+// the journal at startup are re-run (their shard checkpoints make the
+// re-run incremental); Done and Failed are terminal.
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// Record is one job's journal entry — everything needed to resume or
+// serve it: the spec (results are a pure function of it), the state,
+// and the outcome.
+type Record struct {
+	ID     string `json:"id"`
+	Spec   Spec   `json:"spec"`
+	State  State  `json:"state"`
+	Result string `json:"result,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// journalSchema versions the journal payload; a mismatch rejects the
+// frame (treated as corrupt, older frames are tried).
+const journalSchema = 1
+
+// journalState is the full journal payload. The journal persists whole
+// snapshots, not deltas: with tens of jobs the payload is small, and a
+// snapshot per frame means any single good frame is a complete recovery
+// point — exactly the property the framed codec's keep-N history needs.
+type journalState struct {
+	Schema int      `json:"schema"`
+	Seq    int      `json:"seq"`
+	Jobs   []Record `json:"jobs"`
+}
+
+// journal wraps the length/CRC-framed atomic checkpoint codec around
+// the job table.
+type journal struct {
+	w *ckpt.Writer
+}
+
+func journalPath(dir string) string { return filepath.Join(dir, "journal.ck") }
+
+// openJournal loads the newest good journal frame (nil state when the
+// journal does not exist yet) and returns a writer seeded with it, so a
+// crash before the first new write preserves history.
+func openJournal(dir string) (*journal, *journalState, error) {
+	var st *journalState
+	accept := func(payload []byte) bool {
+		var s journalState
+		if json.Unmarshal(payload, &s) != nil || s.Schema != journalSchema {
+			return false
+		}
+		st = &s
+		return true
+	}
+	newest, _, err := ckpt.Load(journalPath(dir), accept)
+	if err != nil {
+		return nil, nil, fmt.Errorf("job: journal: %w", err)
+	}
+	w := ckpt.NewWriter(journalPath(dir), ckpt.DefaultKeep)
+	if newest != nil {
+		w.Seed(newest)
+	}
+	return &journal{w: w}, st, nil
+}
+
+// write persists a snapshot atomically.
+func (j *journal) write(st *journalState) error {
+	st.Schema = journalSchema
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	if err := j.w.Write(payload); err != nil {
+		return err
+	}
+	obs.C("serve.journal_writes").Inc()
+	return nil
+}

@@ -1,42 +1,25 @@
 package shard
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"hash/crc32"
 	"os"
-	"path/filepath"
 
+	"repro/internal/ckpt"
 	"repro/internal/obs"
 	"repro/internal/resil"
 )
 
-// Checkpoint frame format. A checkpoint file is a sequence of
-// self-delimiting frames, newest last:
-//
-//	offset  size  field
-//	0       4     magic "SCK1" (little-endian 0x314B4353)
-//	4       2     frame schema version (currently 1)
-//	6       4     payload length in bytes
-//	10      4     CRC-32 (IEEE) of the payload
-//	14      n     payload: one State, JSON-encoded
-//
-// Every save rewrites the file atomically (temp file + rename) with the
-// last keepFrames frames, so a crash at any instant leaves either the old
-// file or the new one — never a half-written tail that silently parses.
-// The decoder still assumes nothing: a frame whose magic, version, length,
-// CRC or JSON does not check out is skipped (with a resync scan for the
-// next magic), and the newest frame that does check out wins. A checkpoint
-// is therefore survived, never trusted.
+// Checkpoint frames use the shared crash-safe codec in internal/ckpt
+// (magic, version, length, CRC-32, atomic temp+fsync+rename rewrites
+// keeping the last few frames). This file owns what a frame's payload
+// means for a shard: one State, JSON-encoded and schema-versioned. A
+// payload whose JSON or schema does not check out is discarded exactly
+// like a torn or bit-flipped frame — a checkpoint is survived, never
+// trusted.
 const (
-	frameMagic   = 0x314B4353 // "SCK1" little-endian
-	frameVersion = 1
-	headerSize   = 14
-	// keepFrames bounds how many historical frames a checkpoint file
-	// retains: enough that a latent corruption of the newest frame falls
-	// back to recent work, small enough that files stay O(state size).
-	keepFrames = 4
+	headerSize = ckpt.HeaderSize
+	keepFrames = ckpt.DefaultKeep
 	// StateSchema versions the JSON payload; a payload with a different
 	// schema is discarded like any other corrupt frame.
 	StateSchema = 1
@@ -86,75 +69,36 @@ func AppendFrame(buf []byte, s *State) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("shard: encoding checkpoint frame: %w", err)
 	}
-	var hdr [headerSize]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], frameMagic)
-	binary.LittleEndian.PutUint16(hdr[4:6], frameVersion)
-	binary.LittleEndian.PutUint32(hdr[6:10], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[10:14], crc32.ChecksumIEEE(payload))
-	buf = append(buf, hdr[:]...)
-	return append(buf, payload...), nil
+	return ckpt.AppendFrame(buf, payload), nil
+}
+
+// decodeState accepts a frame payload iff it is a current-schema State.
+func decodeState(payload []byte) *State {
+	var st State
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return nil
+	}
+	if st.Schema != StateSchema {
+		return nil
+	}
+	return &st
 }
 
 // DecodeFrames scans data for checkpoint frames and returns the newest
 // one that decodes cleanly, plus how many frames were good and how many
 // byte regions had to be discarded (torn tails, bit flips, unknown
 // schemas, garbage between frames). It never fails: corrupt input just
-// yields a nil state. After a bad frame the scan resyncs on the next
-// magic occurrence, so one flipped bit does not take out every frame
-// behind it.
+// yields a nil state.
 func DecodeFrames(data []byte) (last *State, good, discarded int) {
-	off := 0
-	for off < len(data) {
-		s, next, ok := decodeOne(data, off)
-		if ok {
-			last, good = s, good+1
-			off = next
-			continue
+	good, discarded = ckpt.DecodeFrames(data, func(payload []byte) bool {
+		st := decodeState(payload)
+		if st == nil {
+			return false
 		}
-		discarded++
-		off = resync(data, off+1)
-	}
+		last = st
+		return true
+	})
 	return last, good, discarded
-}
-
-// decodeOne tries to decode the frame at off; next is the offset after it.
-func decodeOne(data []byte, off int) (s *State, next int, ok bool) {
-	if off+headerSize > len(data) {
-		return nil, len(data), false
-	}
-	hdr := data[off : off+headerSize]
-	if binary.LittleEndian.Uint32(hdr[0:4]) != frameMagic {
-		return nil, 0, false
-	}
-	if binary.LittleEndian.Uint16(hdr[4:6]) != frameVersion {
-		return nil, 0, false
-	}
-	n := int(binary.LittleEndian.Uint32(hdr[6:10]))
-	if n < 0 || off+headerSize+n > len(data) {
-		return nil, 0, false
-	}
-	payload := data[off+headerSize : off+headerSize+n]
-	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[10:14]) {
-		return nil, 0, false
-	}
-	var st State
-	if err := json.Unmarshal(payload, &st); err != nil {
-		return nil, 0, false
-	}
-	if st.Schema != StateSchema {
-		return nil, 0, false
-	}
-	return &st, off + headerSize + n, true
-}
-
-// resync returns the offset of the next magic occurrence at or after off.
-func resync(data []byte, off int) int {
-	for ; off+4 <= len(data); off++ {
-		if binary.LittleEndian.Uint32(data[off:off+4]) == frameMagic {
-			return off
-		}
-	}
-	return len(data)
 }
 
 // Load reads the checkpoint at path and returns its newest good frame. A
@@ -177,23 +121,30 @@ func Load(path string) (*State, error) {
 	return last, nil
 }
 
-// writer persists checkpoint frames for one shard: it retains the last
-// keepFrames encoded frames and rewrites the whole file atomically on
-// every write (temp in the same directory, fsync, rename).
+// writer persists checkpoint frames for one shard, stamping each state
+// with the next sequence number before handing it to the shared framed
+// writer.
 type writer struct {
-	path    string
-	history [][]byte
-	seq     uint64
+	path string
+	w    *ckpt.Writer
+	seq  uint64
+}
+
+func (w *writer) framed() *ckpt.Writer {
+	if w.w == nil {
+		w.w = ckpt.NewWriter(w.path, keepFrames)
+	}
+	return w.w
 }
 
 // seed installs a recovered state as the writer's oldest frame, so the
 // pre-crash state stays on disk as the fallback frame of the next save.
 func (w *writer) seed(s *State) error {
-	frame, err := AppendFrame(nil, s)
+	payload, err := json.Marshal(s)
 	if err != nil {
-		return err
+		return fmt.Errorf("shard: encoding checkpoint frame: %w", err)
 	}
-	w.history = append(w.history, frame)
+	w.framed().Seed(payload)
 	w.seq = s.Seq
 	return nil
 }
@@ -202,48 +153,14 @@ func (w *writer) seed(s *State) error {
 func (w *writer) write(s *State) error {
 	w.seq++
 	s.Seq = w.seq
-	frame, err := AppendFrame(nil, s)
+	payload, err := json.Marshal(s)
 	if err != nil {
-		return err
+		return fmt.Errorf("shard: encoding checkpoint frame: %w", err)
 	}
-	w.history = append(w.history, frame)
-	if len(w.history) > keepFrames {
-		w.history = w.history[len(w.history)-keepFrames:]
-	}
-	var buf []byte
-	for _, f := range w.history {
-		buf = append(buf, f...)
-	}
-	if err := atomicWrite(w.path, buf); err != nil {
-		return err
+	if err := w.framed().Write(payload); err != nil {
+		return fmt.Errorf("shard: %w", err)
 	}
 	obs.C("shard.checkpoints_written").Inc()
-	return nil
-}
-
-// atomicWrite writes data to path via a temp file in the same directory,
-// fsyncs it, and renames it into place.
-func atomicWrite(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return fmt.Errorf("shard: writing checkpoint: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return fmt.Errorf("shard: writing checkpoint: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("shard: syncing checkpoint: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("shard: closing checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("shard: installing checkpoint: %w", err)
-	}
 	return nil
 }
 

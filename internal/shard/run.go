@@ -31,6 +31,8 @@ type shardRun struct {
 
 	state State // identity fields, reused for every frame
 
+	beat func() // optional lease heartbeat, from Options.OnProgress
+
 	mu        sync.Mutex
 	prior     []Range // sorted disjoint, from the loaded checkpoint
 	fresh     map[int64]struct{}
@@ -52,6 +54,7 @@ func newShardRun(o Options, kind string, fingerprint uint64, idx int, window Ran
 		idx:    idx,
 		window: window,
 		every:  o.Every,
+		beat:   o.OnProgress,
 		fresh:  map[int64]struct{}{},
 		recs:   map[int64]resil.RunRecord{},
 		state: State{
@@ -126,6 +129,9 @@ func (s *shardRun) observePoint(gi int, p explore.Point) {
 	}
 	s.maybeFlushLocked()
 	s.mu.Unlock()
+	if s.beat != nil {
+		s.beat()
+	}
 }
 
 // observeOutcome records one completed campaign run. Campaign execution
@@ -141,6 +147,9 @@ func (s *shardRun) observeOutcome(rec resil.RunRecord) {
 	}
 	s.maybeFlushLocked()
 	s.mu.Unlock()
+	if s.beat != nil {
+		s.beat()
+	}
 }
 
 // maybeFlushLocked writes a periodic checkpoint when due. Errors are
@@ -261,9 +270,12 @@ func RunExplore(ctx context.Context, f *core.Flow, o Options) (*ExploreResult, e
 	}
 	total := int64(explore.SelectionSpace(f, o.MaxPoints))
 	plan := Plan(total, o.Shards)
-	cache := explore.NewCache()
-	if o.FullEval {
-		cache = explore.NewFullCache()
+	cache := o.Cache
+	if cache == nil {
+		cache = explore.NewCache()
+		if o.FullEval {
+			cache = explore.NewFullCache()
+		}
 	}
 	res := &ExploreResult{Total: total}
 	var fronts [][]FrontPoint

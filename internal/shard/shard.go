@@ -262,6 +262,14 @@ func (r Retry) withDefaults() Retry {
 	return r
 }
 
+// Backoff is the deterministic delay before retry attempt n (n >= 1):
+// Base doubling per attempt, capped at Max. Exported so the daemon's
+// lease coordinator (internal/serve/pool) reassigns expired shards
+// under the same policy the in-process retry loop uses.
+func (r Retry) Backoff(attempt int) time.Duration {
+	return r.withDefaults().backoff(attempt)
+}
+
 // backoff is the deterministic delay before retry attempt n (n >= 1).
 func (r Retry) backoff(attempt int) time.Duration {
 	d := r.Base
@@ -305,6 +313,16 @@ type Options struct {
 	MaxPoints int
 	// FullEval disables the incremental delta evaluator (explore only).
 	FullEval bool
+	// Cache, when non-nil, supplies the evaluation cache shared with
+	// other runs over the same prepared flow (explore only). The daemon
+	// passes one cache per flow so concurrent and successive jobs reuse
+	// each other's evaluations; nil builds a private cache per call.
+	Cache *explore.Cache
+	// OnProgress, when non-nil, is called after every completed work
+	// item (design point or campaign run) — the lease heartbeat hook: a
+	// shard silent past its lease TTL is presumed dead by the daemon's
+	// coordinator. May be called concurrently from evaluation workers.
+	OnProgress func()
 }
 
 func (o Options) withDefaults() Options {

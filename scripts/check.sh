@@ -35,8 +35,14 @@ go test -fuzz=FuzzParseFaults -fuzztime=10s -run '^$' ./internal/resil/
 echo "==> go test -fuzz=FuzzCheckpointDecode (10s smoke)"
 go test -fuzz=FuzzCheckpointDecode -fuzztime=10s -run '^$' ./internal/shard/
 
+echo "==> go test -fuzz=FuzzJobSpec (10s smoke)"
+go test -fuzz=FuzzJobSpec -fuzztime=10s -run '^$' ./internal/serve/job/
+
 echo "==> crash-resume smoke (scripts/crashsmoke.sh)"
 sh scripts/crashsmoke.sh
+
+echo "==> daemon crash smoke (scripts/daemonsmoke.sh)"
+sh scripts/daemonsmoke.sh
 
 echo "==> bench trajectory smoke (scripts/bench.sh -smoke)"
 sh scripts/bench.sh -smoke

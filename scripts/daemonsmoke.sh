@@ -1,0 +1,103 @@
+#!/bin/sh
+# Daemon crash smoke: start socetd, submit a sharded campaign over HTTP,
+# SIGKILL the daemon mid-flight, restart it on the same state directory,
+# and require the recovered job's result to be byte-identical to the
+# single-process `compare -campaign` golden. Finish with a SIGTERM drain
+# and require a clean exit. This is the end-to-end complement of the
+# in-process crash tests in internal/serve/job.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d)
+DAEMON_PID=""
+cleanup() {
+    if [ -n "$DAEMON_PID" ]; then
+        kill -9 "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+RUNS=24
+SIZE=2
+SEED=5
+SPEC="{\"type\":\"campaign\",\"chip\":{\"system\":1},\"shards\":4,\"runs\":$RUNS,\"set_size\":$SIZE,\"seed\":$SEED}"
+
+go build -o "$WORK/socetd" ./cmd/socetd
+go build -o "$WORK/compare" ./cmd/compare
+
+echo "==> golden: single-process compare -campaign"
+"$WORK/compare" -system 1 -campaign "$RUNS" -campaign-size "$SIZE" -campaign-seed "$SEED" > "$WORK/golden.txt"
+
+# start_daemon launches socetd on the shared state dir and sets ADDR from
+# its "listening on" line (the daemon binds port 0).
+start_daemon() {
+    : > "$WORK/log.txt"
+    "$WORK/socetd" -dir "$WORK/state" -addr 127.0.0.1:0 -checkpoint-every 1ms 2>> "$WORK/log.txt" &
+    DAEMON_PID=$!
+    i=0
+    while ! grep -q "listening on" "$WORK/log.txt"; do
+        if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+            echo "daemon died at startup:" >&2
+            cat "$WORK/log.txt" >&2
+            exit 1
+        fi
+        i=$((i + 1))
+        [ "$i" -gt 600 ] && { echo "daemon never came up" >&2; exit 1; }
+        sleep 0.05
+    done
+    ADDR=$(sed -n 's/.*listening on \([0-9.]*:[0-9]*\).*/\1/p' "$WORK/log.txt" | head -1)
+    [ -n "$ADDR" ] || { echo "could not parse daemon address" >&2; cat "$WORK/log.txt" >&2; exit 1; }
+}
+
+echo "==> start daemon, submit the sharded campaign"
+start_daemon
+curl -sf -X POST --data "$SPEC" "http://$ADDR/jobs" > "$WORK/submit.json"
+JOB=$(sed -n 's/.*"id": "\([^"]*\)".*/\1/p' "$WORK/submit.json" | head -1)
+[ -n "$JOB" ] || { echo "submit returned no job id:" >&2; cat "$WORK/submit.json" >&2; exit 1; }
+echo "    submitted $JOB to $ADDR"
+
+echo "==> SIGKILL the daemon once the job has checkpointed"
+i=0
+while true; do
+    if ls "$WORK/state/job-$JOB".shard*.ck >/dev/null 2>&1; then
+        break
+    fi
+    i=$((i + 1))
+    # Finished jobs delete their checkpoints; the restart then only has
+    # to serve the journaled result, which the diff below still gates.
+    # Checked rarely — the tight ls loop is what catches the window.
+    if [ $((i % 100)) -eq 0 ] && curl -s "http://$ADDR/jobs/$JOB" | grep -q '"state": "done"'; then
+        echo "    (job finished before the kill landed)"
+        break
+    fi
+    [ "$i" -gt 12000 ] && { echo "job never checkpointed" >&2; cat "$WORK/log.txt" >&2; exit 1; }
+    sleep 0.01
+done
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+echo "    killed daemon ($(ls "$WORK/state" | wc -l | tr -d ' ') files in state dir)"
+
+echo "==> restart on the same state dir; fetch the recovered result"
+start_daemon
+curl -sf "http://$ADDR/jobs/$JOB/result?wait=5m" > "$WORK/result.txt"
+
+echo "==> diff recovered result vs single-process golden"
+if ! diff -u "$WORK/golden.txt" "$WORK/result.txt"; then
+    echo "recovered result is not byte-identical to the golden" >&2
+    exit 1
+fi
+
+echo "==> graceful drain (SIGTERM)"
+kill -TERM "$DAEMON_PID"
+if ! wait "$DAEMON_PID"; then
+    echo "daemon exited non-zero on SIGTERM:" >&2
+    cat "$WORK/log.txt" >&2
+    exit 1
+fi
+DAEMON_PID=""
+grep -q "drained" "$WORK/log.txt" || { echo "daemon log missing drain confirmation" >&2; cat "$WORK/log.txt" >&2; exit 1; }
+
+echo "==> ok"
