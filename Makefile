@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-delta bench-snapshot check trace
+.PHONY: build test bench bench-delta bench-snapshot bench-wrap check study trace
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,16 @@ bench-delta:
 # against the previous one (fails on regressions; see scripts/bench.sh).
 bench-snapshot:
 	sh scripts/bench.sh
+
+# Wrapped-core/TAM evaluator scaling ladder (8-128 generated cores);
+# the series feeds the BENCH_<n>.json snapshots via scripts/bench.sh.
+bench-wrap:
+	$(GO) test -run '^$$' -bench 'BenchmarkWrappedChip' -benchmem .
+
+# The SOCET vs wrapper vs test-bus corpus study from EXPERIMENTS.md
+# (deterministic; regenerates the committed table byte-for-byte).
+study:
+	$(GO) run ./cmd/compare -study
 
 # Formatting + vet + full suite under the race detector (CI entry point).
 check:

@@ -33,6 +33,7 @@ import (
 	"repro/internal/synth"
 	"repro/internal/systems"
 	"repro/internal/trans"
+	"repro/internal/wrap"
 )
 
 // fixtures are shared across benchmarks: the prepared flows (full ATPG)
@@ -709,6 +710,28 @@ func BenchmarkGeneratedChipFull(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(e.TAT), "TAT-cycles")
 			b.ReportMetric(float64(len(f.Chip.Nets)), "nets")
+		})
+	}
+}
+
+// BenchmarkWrappedChip measures the wrapped-core/TAM baseline end to end
+// on the same socgen ladder: per-core chain balancing (exact partition
+// up to the exact-search cutoff, LPT above it) plus the chip-level TAM
+// schedule at width 16. Chip preparation stays outside the timer, so
+// the series isolates the wrap evaluator that the -study corpus runs at
+// scale.
+func BenchmarkWrappedChip(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("cores=%d", n), func(b *testing.B) {
+			f := generatedFlow(b, n)
+			var r *wrap.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r = f.EvaluateWrapper(16, nil)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(r.ChipTAT), "TAT-cycles")
+			b.ReportMetric(float64(r.DFTCells()), "DFT-cells")
 		})
 	}
 }

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current output")
+
+// TestArchGolden locks the -arch output: the wrapper baseline's chain
+// balancing and the three-way architecture comparison are deterministic,
+// so any diff is a behavior change that must be reviewed (and blessed
+// with -update).
+func TestArchGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the flow via go run")
+	}
+	cases := []struct {
+		name   string
+		golden string
+		args   []string
+	}{
+		{"wrapper", "wrapper1.golden", []string{"-arch", "wrapper", "-tam-width", "4", "-system", "1"}},
+		{"all", "all1.golden", []string{"-arch", "all", "-system", "1"}},
+		{"study", "study.golden", []string{"-study", "-study-cores", "8,16", "-study-widths", "1,4", "-j", "2"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := exec.Command("go", append([]string{"run", "."}, tc.args...)...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("compare %v: %v\n%s", tc.args, err, out)
+			}
+			golden := filepath.Join("testdata", tc.golden)
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, out, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create it)", err)
+			}
+			if string(out) != string(want) {
+				t.Errorf("output differs from %s (re-bless with -update if intended)\n--- got ---\n%s\n--- want ---\n%s",
+					golden, out, want)
+			}
+		})
+	}
+}

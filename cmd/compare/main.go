@@ -9,12 +9,23 @@
 //	compare -timeout 30s      (partial Pareto front on expiry)
 //	compare -fault "cut:FROM->TO,..."  (degradation report per system)
 //	compare -campaign 100 -campaign-size 2 -campaign-seed 7
+//	compare -arch wrapper -tam-width 4   (wrapped-core/TAM baseline)
+//	compare -arch all                    (SOCET vs wrapper vs test bus)
+//	compare -study                       (corpus study over socgen chips)
 //
 // -campaign runs a seeded random fault-injection campaign per system and
 // prints its report instead of the tables. Campaigns accept the shard
 // flags (-shards, -shard-index, -checkpoint, -resume): each shard owns a
 // deterministic slice of the fault sets and checkpoints completed runs,
 // and the merged report is identical to the single-process one.
+//
+// -arch selects the chip-level test architecture: socet (default, the
+// paper's tables), wrapper (P1500-style wrapped cores on a TAM of width
+// -tam-width), bus (dedicated test bus), or all (the three side by side).
+// -study ignores -system and runs the SOCET-vs-wrapper-vs-bus comparison
+// over seeded socgen chips across every topology family (-study-cores,
+// -study-widths, -study-seed); the output is deterministic, so the table
+// in EXPERIMENTS.md regenerates byte-identically.
 package main
 
 import (
@@ -49,6 +60,12 @@ func main() {
 	campaign := flag.Int("campaign", 0, "run a random fault-injection campaign of `n` sets per system (instead of the tables)")
 	campaignSize := flag.Int("campaign-size", 2, "faults per campaign set")
 	campaignSeed := flag.Int64("campaign-seed", 1, "campaign fault-set seed")
+	arch := flag.String("arch", "socet", "test architecture: socet (the tables), wrapper, bus, or all (side-by-side comparison)")
+	tamWidth := flag.Int("tam-width", 4, "TAM width W for -arch wrapper/all")
+	study := flag.Bool("study", false, "run the SOCET vs wrapper vs bus corpus study over socgen chips (ignores -system)")
+	studyCores := flag.String("study-cores", "8,32,128,256", "comma-separated core counts for -study")
+	studyWidths := flag.String("study-widths", "1,4,16", "comma-separated TAM widths for -study")
+	studySeed := flag.Uint64("study-seed", 1, "generator seed for -study")
 	obsCfg := obscli.AddFlags(flag.CommandLine)
 	obsCfg.AddProgressFlag(flag.CommandLine)
 	shardCfg := shard.AddFlags(flag.CommandLine)
@@ -59,6 +76,14 @@ func main() {
 	}
 	defer sess.Close()
 
+	archName, err := flowcmd.ParseArch(*arch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *study {
+		runStudy(*studySeed, *studyCores, *studyWidths, *jobs)
+		return
+	}
 	chips, err := flowcmd.Systems(*system)
 	if err != nil {
 		log.Fatal(err)
@@ -80,6 +105,10 @@ func main() {
 		}
 		if *campaign > 0 {
 			runCampaign(ctx, f, shardCfg, *campaign, *campaignSize, *campaignSeed)
+			continue
+		}
+		if archName != flowcmd.ArchSOCET {
+			printArch(f, archName, *tamWidth)
 			continue
 		}
 		points, err := explore.EnumerateCtx(ctx, f, explore.Options{Workers: *jobs, FullEval: !*delta})
@@ -114,6 +143,25 @@ func main() {
 		}
 		printDegradation(f, *fault)
 	}
+}
+
+// printArch prints the selected architecture's bottom line; the wrapper
+// architecture additionally prints its per-core chain balancing, which
+// the golden test pins.
+func printArch(f *core.Flow, arch string, tamWidth int) {
+	rows, err := flowcmd.ArchRows(f, arch, tamWidth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Test architectures — %s\n", f.Chip.Name)
+	fmt.Printf("  %-8s %9s %10s  %s\n", "arch", "TApp", "DFT cells", "access")
+	for _, r := range rows {
+		fmt.Printf("  %-8s %9d %10d  %s\n", r.Arch, r.TAT, r.DFTCells, r.Detail)
+	}
+	if arch == flowcmd.ArchWrapper {
+		fmt.Print(f.EvaluateWrapper(tamWidth, nil).Format())
+	}
+	fmt.Println()
 }
 
 // runCampaign executes a seeded fault-injection campaign through the

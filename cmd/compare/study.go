@@ -1,0 +1,69 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/flowcmd"
+	"repro/internal/socgen"
+	"repro/internal/testbus"
+	"repro/internal/wrap"
+)
+
+// runStudy is the -study mode: the SOCET vs wrapper vs test-bus
+// comparison over seeded socgen chips, one row per (topology, core
+// count), one wrapper column pair per TAM width. Every number is
+// deterministic for a given seed, so the table diffs cleanly.
+func runStudy(seed uint64, coresCSV, widthsCSV string, jobs int) {
+	coreCounts, err := flowcmd.ParseIntList(coresCSV)
+	if err != nil {
+		log.Fatalf("-study-cores: %v", err)
+	}
+	widths, err := flowcmd.ParseIntList(widthsCSV)
+	if err != nil {
+		log.Fatalf("-study-widths: %v", err)
+	}
+	workers := jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("Corpus study: SOCET vs wrapper/TAM vs test bus (socgen seed %d)\n", seed)
+	fmt.Printf("%-6s %6s | %9s %8s | %9s %8s", "topo", "cores", "socet", "cells", "bus", "cells")
+	for _, w := range widths {
+		fmt.Printf(" | %8s %8s", fmt.Sprintf("wrapW=%d", w), "cells")
+	}
+	fmt.Printf(" | %s\n", "best TApp")
+	for _, topo := range socgen.Topologies() {
+		for _, n := range coreCounts {
+			ch, err := socgen.Generate(socgen.Params{Seed: seed, Cores: n, Topology: topo})
+			if err != nil {
+				log.Fatalf("generate %s/%d: %v", topo, n, err)
+			}
+			f, err := core.Prepare(ch, flowcmd.GenVectorOverride(ch))
+			if err != nil {
+				log.Fatalf("prepare %s/%d: %v", topo, n, err)
+			}
+			e, err := f.Evaluate()
+			if err != nil {
+				log.Fatalf("evaluate %s/%d: %v", topo, n, err)
+			}
+			tb := testbus.Evaluate(ch)
+			fmt.Printf("%-6s %6d | %9d %8d | %9d %8d",
+				topo, n, e.TAT, e.ChipDFTCells(), tb.TotalTAT, tb.MuxCells())
+			bestName, bestTAT := "socet", e.TAT
+			if tb.TotalTAT < bestTAT {
+				bestName, bestTAT = "bus", tb.TotalTAT
+			}
+			for _, w := range widths {
+				r := f.EvaluateWrapper(w, &wrap.Options{Workers: workers})
+				fmt.Printf(" | %8d %8d", r.ChipTAT, r.DFTCells())
+				if r.ChipTAT < bestTAT {
+					bestName, bestTAT = fmt.Sprintf("wrapW=%d", w), r.ChipTAT
+				}
+			}
+			fmt.Printf(" | %s\n", bestName)
+		}
+	}
+}

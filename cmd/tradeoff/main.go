@@ -6,6 +6,13 @@
 //
 //	tradeoff [-system 1|2] [-pareto] [-timeout 30s]
 //	tradeoff -gen -cores 64 -seed 7 [-topology dag] [-max-points 20000]
+//	tradeoff -arch wrapper [-tam-widths 1,2,4,8,16]
+//
+// With -arch wrapper the command sweeps the wrapped-core/TAM baseline
+// (internal/wrap) over the -tam-widths list instead of enumerating
+// version selections: one row per TAM width W with the bus count, chip
+// test time and DFT cell cost, exposing the same width-vs-time tradeoff
+// curve Figure 10 shows for SOCET versions.
 //
 // With -timeout, an enumeration that runs out of time prints the Pareto
 // front of the points completed so far instead of failing. With -gen the
@@ -56,6 +63,8 @@ func main() {
 	cores := flag.Int("cores", 0, "generated logic core count, 0 = derived from the seed (with -gen)")
 	topology := flag.String("topology", "auto", "generated interconnect family: auto, chain, mesh, dag, hub (with -gen)")
 	delta := flag.Bool("delta", true, "evaluate single-core-change candidates incrementally; results are bit-identical, -delta=false forces full evaluations")
+	arch := flag.String("arch", "socet", "architecture to sweep: socet (version enumeration) or wrapper (TAM width sweep)")
+	tamWidths := flag.String("tam-widths", "1,2,4,8,16", "comma-separated TAM widths for -arch wrapper")
 	obsCfg := obscli.AddFlags(flag.CommandLine)
 	obsCfg.AddProgressFlag(flag.CommandLine)
 	shardCfg := shard.AddFlags(flag.CommandLine)
@@ -77,6 +86,17 @@ func main() {
 	f, err := core.Prepare(ch, opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	archName, err := flowcmd.ParseArch(*arch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if archName == flowcmd.ArchWrapper {
+		sweepTAMWidths(f, *tamWidths)
+		return
+	}
+	if archName != flowcmd.ArchSOCET {
+		log.Fatalf("-arch %s has no tradeoff curve to sweep; use socet or wrapper", archName)
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -119,6 +139,31 @@ func main() {
 	fmt.Printf("%-58s %8s %9s %6s %6s\n", "Circuit description", "A.Ov.", "TApp.", "FCov.", "TEff.")
 	for _, r := range report.Table1(f, points) {
 		fmt.Printf("%-58s %8d %9d %5.1f%% %5.1f%%\n", r.Desc, r.AreaOv, r.TATime, r.FCov, r.TestEff)
+	}
+}
+
+// sweepTAMWidths prints the wrapped-core/TAM width-versus-time tradeoff
+// curve: one row per TAM width in the CSV list. The schedule TAT is
+// non-increasing in width (internal/wrap proves this per width by
+// minimizing over bus counts), so the curve is the wrapper analogue of
+// the SOCET Pareto front.
+func sweepTAMWidths(f *core.Flow, widthsCSV string) {
+	widths, err := flowcmd.ParseIntList(widthsCSV)
+	if err != nil {
+		log.Fatalf("-tam-widths: %v", err)
+	}
+	fmt.Printf("Wrapper/TAM width sweep — %s\n", f.Chip.Name)
+	fmt.Printf("  %5s %6s %9s %10s  %s\n", "W", "buses", "TApp", "DFT cells", "bus layout")
+	for _, w := range widths {
+		r := f.EvaluateWrapper(w, nil)
+		layout := ""
+		for b, bw := range r.BusWidths {
+			if b > 0 {
+				layout += " "
+			}
+			layout += fmt.Sprintf("%dw×%dc", bw, len(r.Buses[b]))
+		}
+		fmt.Printf("  %5d %6d %9d %10d  [%s]\n", w, r.NumBuses, r.ChipTAT, r.DFTCells(), layout)
 	}
 }
 

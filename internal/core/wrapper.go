@@ -1,0 +1,13 @@
+package core
+
+import "repro/internal/wrap"
+
+// EvaluateWrapper evaluates the wrapped-core/TAM baseline architecture
+// (internal/wrap) on the flow's chip at TAM width w: every testable core
+// gets a P1500-style wrapper with balanced chains and the cores are
+// scheduled onto parallel TAM buses. The flow must be prepared (HSCAN
+// chains and vector counts filled in); the chip is only read, so
+// concurrent calls over one flow are safe.
+func (f *Flow) EvaluateWrapper(w int, opts *wrap.Options) *wrap.Result {
+	return wrap.Evaluate(f.Chip, w, opts)
+}

@@ -71,6 +71,9 @@ var KnownCounters = []string{
 	"shard.resumed_ranges",             // completed work ranges loaded from checkpoints on resume
 	"shard.retries",                    // shard attempts retried after a transient failure
 	"trans.versions_built",             // transparency versions constructed
+	"wrap.cores_wrapped",               // cores fitted with a P1500-style wrapper
+	"wrap.paths_replayed",              // wrapper chains replayed cycle-accurately
+	"wrap.schedules",                   // chip-level TAM schedules computed
 }
 
 // KnownGauges lists every last-value gauge name.

@@ -20,12 +20,14 @@ import (
 
 // Stats summarizes one chip's verification for aggregate reporting.
 type Stats struct {
-	Chip      string
-	Paths     int // scheduled port paths examined
-	Replayed  int // paths replayed cycle-accurately on chipsim
-	Virtual   int // paths skipped (test muxes, created edges, splits...)
-	FullCores int // cores whose TAT was recomputed purely from simulation
-	Points    int // enumerated design points (small chips only)
+	Chip       string
+	Paths      int // scheduled port paths examined
+	Replayed   int // paths replayed cycle-accurately on chipsim
+	Virtual    int // paths skipped (test muxes, created edges, splits...)
+	FullCores  int // cores whose TAT was recomputed purely from simulation
+	Points     int // enumerated design points (small chips only)
+	WrapChains int // wrapper chains pulse-replayed on chipsim
+	WrapCores  int // cores whose wrapper TAT identity was machine-checked
 }
 
 func (s *Stats) add(o *Stats) {
@@ -34,6 +36,8 @@ func (s *Stats) add(o *Stats) {
 	s.Virtual += o.Virtual
 	s.FullCores += o.FullCores
 	s.Points += o.Points
+	s.WrapChains += o.WrapChains
+	s.WrapCores += o.WrapCores
 }
 
 // Add accumulates another chip's stats (aggregation across seeds).

@@ -1,0 +1,330 @@
+package proptest
+
+import (
+	"fmt"
+
+	"repro/internal/chipsim"
+	"repro/internal/hscan"
+	"repro/internal/obs"
+	"repro/internal/obs/progress"
+	"repro/internal/soc"
+	"repro/internal/socgen"
+	"repro/internal/wrap"
+)
+
+// WrapParams parameterizes one wrapped-chip verification: the generated
+// SoC plus the TAM width the wrapper architecture is evaluated at.
+type WrapParams struct {
+	Gen      socgen.Params
+	TAMWidth int
+}
+
+// CheckWrapped generates the chip for p, inserts HSCAN, evaluates the
+// wrapper/TAM architecture at p.TAMWidth and replays every wrapper chain
+// cycle-accurately on chipsim, machine-checking the claimed SI/SO/TAT
+// against simulated shift counts. It also requires the width-w schedule
+// to be no slower than the width-1 serial baseline. A non-nil error is a
+// real property violation (or a generator bug), never noise.
+func CheckWrapped(p WrapParams) (*Stats, error) {
+	st := &Stats{}
+	ch, err := wrappedChip(p.Gen)
+	if err != nil {
+		return st, err
+	}
+	st.Chip = ch.Name
+	w := p.TAMWidth
+	if w < 1 {
+		w = 1
+	}
+	r := wrap.Evaluate(ch, w, nil)
+	rst, err := ReplayWrapped(ch, r)
+	st.add(rst)
+	if err != nil {
+		return st, err
+	}
+	if w > 1 {
+		serial := wrap.Evaluate(ch, 1, nil)
+		if r.ChipTAT > serial.ChipTAT {
+			return st, fmt.Errorf("width-%d chip TAT %d exceeds the width-1 serial baseline %d",
+				w, r.ChipTAT, serial.ChipTAT)
+		}
+	}
+	return st, nil
+}
+
+// wrappedChip generates the seeded SoC and fills the per-core state the
+// wrapper reads — HSCAN chains and seeded vector counts — without running
+// the full SOCET flow (no transparency, no ATPG): the wrapper baseline
+// tests cores through boundary cells, not through neighbors.
+func wrappedChip(p socgen.Params) (*soc.Chip, error) {
+	ch, err := socgen.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	vr := &rng{s: p.Seed ^ 0x5eed}
+	for _, c := range ch.TestableCores() {
+		scan, err := hscan.Insert(c.RTL)
+		if err != nil {
+			return nil, fmt.Errorf("hscan %s: %w", c.Name, err)
+		}
+		c.Scan = scan
+		c.Vectors = 5 + vr.intn(28)
+	}
+	return ch, nil
+}
+
+// ReplayWrapped physically elaborates every wrapper chain of r into the
+// chip model, shifts a constant-1 pulse through each chain on the
+// cycle-accurate simulator and records the first cycle each segment tap
+// goes high. The measured segment lengths must match the chain's recorded
+// items and the claimed SI/SO; the per-core TAT must satisfy the wrapper
+// formula over the measured maxima; measured boundary and scan coverage
+// must equal the core's RTL port bits and HSCAN stages; and the bus sums
+// must reproduce the claimed chip TAT. An error means an analytic claim
+// disagreed with the simulation (or failed a structural identity).
+func ReplayWrapped(ch *soc.Chip, r *wrap.Result) (*Stats, error) {
+	st := &Stats{Chip: ch.Name}
+	ech, probes, err := wrap.Elaborate(ch, r)
+	if err != nil {
+		return st, fmt.Errorf("elaborate: %w", err)
+	}
+	if len(probes) == 0 {
+		return st, checkBusSums(r)
+	}
+	sim, err := chipsim.New(ech)
+	if err != nil {
+		return st, fmt.Errorf("chipsim: %w", err)
+	}
+	prog := progress.Start("proptest/wrapreplay", int64(len(probes)), "wrap.paths_replayed")
+	defer prog.End()
+	cReplayed := obs.C("wrap.paths_replayed")
+
+	// Every chain has its own PI and taps, so all of them shift at once.
+	maxStages := 0
+	for i := range probes {
+		p := &probes[i]
+		if s := p.Stages(); s > maxStages {
+			maxStages = s
+		}
+		cs, ok := sim.Core(p.Core)
+		if !ok {
+			return st, fmt.Errorf("no simulator for core %s", p.Core)
+		}
+		for _, m := range p.Muxes {
+			if err := cs.ForceMux(m, 1); err != nil {
+				return st, fmt.Errorf("core %s: %w", p.Core, err)
+			}
+		}
+		if err := sim.SetPI(p.PI, 1); err != nil {
+			return st, err
+		}
+	}
+	type arrivals struct{ in, scan, out int }
+	arr := make([]arrivals, len(probes))
+	for i := range arr {
+		arr[i] = arrivals{-1, -1, -1}
+	}
+	for cyc := 0; cyc <= maxStages; cyc++ {
+		for i := range probes {
+			p := &probes[i]
+			for _, tap := range []struct {
+				po   string
+				slot *int
+			}{{p.TapIn, &arr[i].in}, {p.TapScan, &arr[i].scan}, {p.WSO, &arr[i].out}} {
+				if *tap.slot >= 0 {
+					continue
+				}
+				v, err := sim.ChipOutput(tap.po)
+				if err != nil {
+					return st, err
+				}
+				if v&1 == 1 {
+					*tap.slot = cyc
+				}
+			}
+		}
+		if err := sim.Step(); err != nil {
+			return st, fmt.Errorf("cycle %d: %w", cyc, err)
+		}
+	}
+
+	crByName := map[string]*wrap.CoreResult{}
+	for _, cr := range r.Cores {
+		crByName[cr.Core] = cr
+	}
+	type coreMeasure struct {
+		si, so        int // max measured shift-in / shift-out length
+		in, scan, out int // summed measured segment lengths
+		chains        int
+	}
+	meas := map[string]*coreMeasure{}
+	for i := range probes {
+		p := &probes[i]
+		a := arr[i]
+		if a.in < 0 || a.scan < 0 || a.out < 0 {
+			return st, fmt.Errorf("core %s chain %d: pulse never reached a tap (in=%d scan=%d wso=%d after %d cycles)",
+				p.Core, p.Chain, a.in, a.scan, a.out, maxStages)
+		}
+		cr := crByName[p.Core]
+		if cr == nil || p.Chain >= len(cr.Chains) {
+			return st, fmt.Errorf("probe for %s chain %d has no wrapper result", p.Core, p.Chain)
+		}
+		// Measured segment lengths are the tap arrival deltas.
+		mi, ms, mo := a.in, a.scan-a.in, a.out-a.scan
+		if mi != p.InBits || ms != p.ScanBits || mo != p.OutBits {
+			return st, fmt.Errorf("core %s chain %d: measured segments %d/%d/%d disagree with structure %d/%d/%d",
+				p.Core, p.Chain, mi, ms, mo, p.InBits, p.ScanBits, p.OutBits)
+		}
+		wc := cr.Chains[p.Chain]
+		if msi, mso := a.scan, a.out-a.in; wc.SI != msi || wc.SO != mso {
+			return st, fmt.Errorf("core %s chain %d claims si=%d so=%d, simulation measured %d/%d",
+				p.Core, p.Chain, wc.SI, wc.SO, msi, mso)
+		}
+		m := meas[p.Core]
+		if m == nil {
+			m = &coreMeasure{}
+			meas[p.Core] = m
+		}
+		if a.scan > m.si {
+			m.si = a.scan
+		}
+		if so := a.out - a.in; so > m.so {
+			m.so = so
+		}
+		m.in += mi
+		m.scan += ms
+		m.out += mo
+		m.chains++
+		st.WrapChains++
+		cReplayed.Inc()
+		prog.Step(1)
+	}
+
+	cores := ch.TestableCores()
+	if len(r.Cores) != len(cores) {
+		return st, fmt.Errorf("%d wrapper results for %d testable cores", len(r.Cores), len(cores))
+	}
+	for i, c := range cores {
+		cr := r.Cores[i]
+		if cr.Core != c.Name {
+			return st, fmt.Errorf("wrapper result %d is for %s, testable core %d is %s", i, cr.Core, i, c.Name)
+		}
+		m := meas[c.Name]
+		if m == nil {
+			return st, fmt.Errorf("core %s was never elaborated", c.Name)
+		}
+		if m.chains != len(cr.Chains) {
+			return st, fmt.Errorf("core %s: %d chains replayed, result has %d", c.Name, m.chains, len(cr.Chains))
+		}
+		if m.si != cr.SI || m.so != cr.SO {
+			return st, fmt.Errorf("core %s claims si=%d so=%d, simulation measured %d/%d",
+				c.Name, cr.SI, cr.SO, m.si, m.so)
+		}
+		// The wrapper TAT identity, rebuilt from measured shift lengths.
+		want := 0
+		if cr.Vectors > 0 {
+			hi, lo := m.si, m.so
+			if lo > hi {
+				hi, lo = lo, hi
+			}
+			want = (1+hi)*cr.Vectors + lo
+		}
+		if cr.TAT != want {
+			return st, fmt.Errorf("core %s: claimed TAT %d, measured shift lengths give %d (si=%d so=%d V=%d)",
+				c.Name, cr.TAT, want, m.si, m.so, cr.Vectors)
+		}
+		// Measured coverage against independent chip facts.
+		if m.in != c.RTL.InputBits() || m.out != c.RTL.OutputBits() {
+			return st, fmt.Errorf("core %s: measured boundary %d in / %d out bits, RTL has %d/%d",
+				c.Name, m.in, m.out, c.RTL.InputBits(), c.RTL.OutputBits())
+		}
+		wantScan := 0
+		if c.Scan != nil {
+			for _, hc := range c.Scan.Chains {
+				wantScan += hc.Depth()
+			}
+		}
+		if m.scan != wantScan {
+			return st, fmt.Errorf("core %s: measured %d internal scan stages, HSCAN has %d", c.Name, m.scan, wantScan)
+		}
+		st.WrapCores++
+	}
+	return st, checkBusSums(r)
+}
+
+// checkBusSums re-derives the chip TAT from the per-core claims: each
+// TAM bus tests its cores serially, buses run in parallel, every core
+// rides exactly one bus.
+func checkBusSums(r *wrap.Result) error {
+	if r.NumBuses != len(r.Buses) || r.NumBuses != len(r.BusTATs) {
+		return fmt.Errorf("%d buses with %d assignments and %d TATs", r.NumBuses, len(r.Buses), len(r.BusTATs))
+	}
+	seen := make([]int, len(r.Cores))
+	chip := 0
+	for b, bus := range r.Buses {
+		sum := 0
+		for _, ci := range bus {
+			if ci < 0 || ci >= len(r.Cores) {
+				return fmt.Errorf("bus %d references core %d of %d", b, ci, len(r.Cores))
+			}
+			seen[ci]++
+			sum += r.Cores[ci].TAT
+		}
+		if sum != r.BusTATs[b] {
+			return fmt.Errorf("bus %d: member TATs sum to %d, claimed %d", b, sum, r.BusTATs[b])
+		}
+		if sum > chip {
+			chip = sum
+		}
+	}
+	for ci, n := range seen {
+		if n != 1 {
+			return fmt.Errorf("core %s rides %d buses", r.Cores[ci].Core, n)
+		}
+	}
+	if chip != r.ChipTAT {
+		return fmt.Errorf("bus maxima give chip TAT %d, claimed %d", chip, r.ChipTAT)
+	}
+	return nil
+}
+
+// ShrinkWrapped minimizes a failing wrapped-chip parameter set along both
+// axes: first the generated core count, then the TAM width. Deterministic
+// generation makes the result a stable reproducer.
+func ShrinkWrapped(p WrapParams) WrapParams {
+	return shrinkWrapped(p, func(q WrapParams) bool {
+		_, err := CheckWrapped(q)
+		return err != nil
+	})
+}
+
+// shrinkWrapped is the predicate-generic shrinker ShrinkWrapped
+// specializes; tests exercise it with planted failures. Unlike the
+// seed-sweep Shrink, it minimizes every parameter a wrapped check takes,
+// not just the core count.
+func shrinkWrapped(p WrapParams, fails func(WrapParams) bool) WrapParams {
+	best := p
+	n := best.Gen.Cores
+	if n == 0 {
+		if ch, err := socgen.Generate(best.Gen); err == nil {
+			n = len(ch.TestableCores())
+		}
+	}
+	for k := 2; k < n; k++ {
+		q := best
+		q.Gen.Cores = k
+		if fails(q) {
+			best = q
+			break
+		}
+	}
+	for w := 1; w < best.TAMWidth; w++ {
+		q := best
+		q.TAMWidth = w
+		if fails(q) {
+			best = q
+			break
+		}
+	}
+	return best
+}

@@ -1,0 +1,185 @@
+package wrap
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/hscan"
+	"repro/internal/soc"
+	"repro/internal/socgen"
+)
+
+// corpusChip generates a seeded SoC and fills the per-core state wrap
+// reads (HSCAN chains and vector counts) without running the full flow.
+func corpusChip(t testing.TB, p socgen.Params) *soc.Chip {
+	t.Helper()
+	ch, err := socgen.Generate(p)
+	if err != nil {
+		t.Fatalf("generate seed %d: %v", p.Seed, err)
+	}
+	for i, c := range ch.TestableCores() {
+		scan, err := hscan.Insert(c.RTL)
+		if err != nil {
+			t.Fatalf("seed %d core %s: hscan: %v", p.Seed, c.Name, err)
+		}
+		c.Scan = scan
+		c.Vectors = 5 + i%28
+	}
+	return ch
+}
+
+func corpusSeeds() []socgen.Params {
+	var out []socgen.Params
+	for seed := uint64(1); seed <= 6; seed++ {
+		for _, topo := range socgen.Topologies() {
+			out = append(out, socgen.Params{Seed: seed, Topology: topo})
+		}
+	}
+	return out
+}
+
+// TestChipTATMonotoneInWidth sweeps the corpus: the chip TAT must never
+// increase as the TAM gets wider.
+func TestChipTATMonotoneInWidth(t *testing.T) {
+	for _, p := range corpusSeeds() {
+		ch := corpusChip(t, p)
+		prev := -1
+		for w := 1; w <= 9; w++ {
+			r := Evaluate(ch, w, nil)
+			if prev >= 0 && r.ChipTAT > prev {
+				t.Fatalf("seed %d topo %s: chip TAT rose %d -> %d at width %d",
+					p.Seed, p.Topology, prev, r.ChipTAT, w)
+			}
+			prev = r.ChipTAT
+		}
+	}
+}
+
+// TestCorpusWorkerDeterminism requires bit-identical results at every
+// worker count over the generated corpus.
+func TestCorpusWorkerDeterminism(t *testing.T) {
+	for _, p := range corpusSeeds()[:8] {
+		ch := corpusChip(t, p)
+		base := Evaluate(ch, 4, &Options{Workers: 1})
+		for _, workers := range []int{3, 8} {
+			if r := Evaluate(ch, 4, &Options{Workers: workers}); !reflect.DeepEqual(base, r) {
+				t.Fatalf("seed %d topo %s: workers=%d diverged", p.Seed, p.Topology, workers)
+			}
+		}
+	}
+}
+
+// TestSplitNeverIncreasesChipTAT is the metamorphic check: splitting one
+// core's internal scan chain gives the balancer strictly more freedom, so
+// the chip TAT must not increase — provable wherever the per-core
+// balancer stays exact, which the test restricts itself to (and counts,
+// so the property cannot pass vacuously).
+func TestSplitNeverIncreasesChipTAT(t *testing.T) {
+	checked := 0
+	for _, p := range corpusSeeds() {
+		ch := corpusChip(t, p)
+		for _, c := range ch.TestableCores() {
+			if c.Scan == nil || len(c.Scan.Chains) == 0 || len(c.Scan.Chains)+1 > ExactMaxChains {
+				continue
+			}
+			ci := -1
+			for i, hc := range c.Scan.Chains {
+				if hc.Depth() >= 2 {
+					ci = i
+					break
+				}
+			}
+			if ci < 0 {
+				continue
+			}
+			at := c.Scan.Chains[ci].Depth() / 2
+			split, err := SplitScanChain(ch, c.Name, ci, at)
+			if err != nil {
+				t.Fatalf("seed %d: split %s/%d@%d: %v", p.Seed, c.Name, ci, at, err)
+			}
+			for _, w := range []int{1, 2, 4} {
+				before := Evaluate(ch, w, nil)
+				after := Evaluate(split, w, nil)
+				if after.ChipTAT > before.ChipTAT {
+					t.Fatalf("seed %d topo %s: splitting %s chain %d at %d raised chip TAT %d -> %d at width %d",
+						p.Seed, p.Topology, c.Name, ci, at, before.ChipTAT, after.ChipTAT, w)
+				}
+				checked++
+			}
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d split cases checked — metamorphic property is near-vacuous", checked)
+	}
+}
+
+// TestCorpusStructuralCoverage asserts every wrapper result accounts for
+// exactly the core's port bits and scan stages, chain by chain.
+func TestCorpusStructuralCoverage(t *testing.T) {
+	for _, p := range corpusSeeds()[:8] {
+		ch := corpusChip(t, p)
+		r := Evaluate(ch, 3, nil)
+		for i, c := range ch.TestableCores() {
+			cr := r.Cores[i]
+			if cr == nil || cr.Core != c.Name {
+				t.Fatalf("seed %d: core %d result mismatch", p.Seed, i)
+			}
+			in, out, scan := 0, 0, 0
+			used := map[int]int{}
+			for _, wc := range cr.Chains {
+				si, so := 0, 0
+				for _, it := range wc.Items {
+					switch it.Kind {
+					case ItemInputCells:
+						in += it.Bits
+						si += it.Bits
+					case ItemScanChain:
+						scan += it.Bits
+						si += it.Bits
+						so += it.Bits
+						used[it.Chain]++
+					case ItemOutputCells:
+						out += it.Bits
+						so += it.Bits
+					}
+				}
+				if si != wc.SI || so != wc.SO {
+					t.Fatalf("seed %d core %s: chain claims si=%d so=%d, items sum %d/%d",
+						p.Seed, c.Name, wc.SI, wc.SO, si, so)
+				}
+			}
+			if in != c.RTL.InputBits() || out != c.RTL.OutputBits() {
+				t.Fatalf("seed %d core %s: wrapped %d in / %d out bits, core has %d/%d",
+					p.Seed, c.Name, in, out, c.RTL.InputBits(), c.RTL.OutputBits())
+			}
+			wantScan := 0
+			for i2 := range c.Scan.Chains {
+				wantScan += c.Scan.Chains[i2].Depth()
+				if used[i2] != 1 {
+					t.Fatalf("seed %d core %s: hscan chain %d appears %d times", p.Seed, c.Name, i2, used[i2])
+				}
+			}
+			if scan != wantScan {
+				t.Fatalf("seed %d core %s: %d scan stages wrapped, hscan has %d", p.Seed, c.Name, scan, wantScan)
+			}
+			if got := coreTAT(cr.SI, cr.SO, cr.Vectors); got != cr.TAT {
+				t.Fatalf("seed %d core %s: TAT %d does not satisfy the formula (%d)", p.Seed, c.Name, cr.TAT, got)
+			}
+		}
+	}
+}
+
+// TestBusSplitBeatsSerialSharing pins the scheduler's bus arithmetic on
+// a two-core chip at W=2: testing the cores on two single-wire buses in
+// parallel (TApp 76) beats sharing one two-wire bus serially (TApp 88).
+func TestBusSplitBeatsSerialSharing(t *testing.T) {
+	a := testCore("CPU", 4, 4, 10, 2)
+	b := testCore("DMA", 6, 2, 7, 3)
+	r := Evaluate(testChip(a, b), 2, nil)
+	if r.NumBuses != 2 || r.ChipTAT != 76 {
+		t.Fatalf("got %d buses, chip TAT %d; want 2 buses at 76:\n%s", r.NumBuses, r.ChipTAT, r.Format())
+	}
+	if got := r.Format(); len(got) == 0 || got[len(got)-1] != '\n' {
+		t.Fatalf("Format output malformed: %q", got)
+	}
+}

@@ -23,6 +23,9 @@ echo "==> go test -race (delta-vs-full equivalence)"
 go test -race -count=1 -run 'TestDelta|TestMultiMatchesSingle|TestMultiDuplicate|TestMultiUnreachable|TestFinderReuse|TestCloneWithVersion|TestCacheRejects|TestCacheAccepts' \
     ./internal/core/ ./internal/ccg/ ./internal/explore/
 
+echo "==> go test -race (wrapper corpus smoke: replay + tamper detection)"
+go test -race -count=1 -run 'TestWrappedChips|TestWrapReplayDetectsLies' ./internal/proptest/ -proptest.n=12
+
 echo "==> go test -race ./..."
 go test -race ./...
 
@@ -37,6 +40,9 @@ go test -fuzz=FuzzCheckpointDecode -fuzztime=10s -run '^$' ./internal/shard/
 
 echo "==> go test -fuzz=FuzzJobSpec (10s smoke)"
 go test -fuzz=FuzzJobSpec -fuzztime=10s -run '^$' ./internal/serve/job/
+
+echo "==> go test -fuzz=FuzzTAMAssign (10s smoke)"
+go test -fuzz=FuzzTAMAssign -fuzztime=10s -run '^$' ./internal/wrap/
 
 echo "==> crash-resume smoke (scripts/crashsmoke.sh)"
 sh scripts/crashsmoke.sh
